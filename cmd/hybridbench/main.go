@@ -1,0 +1,73 @@
+// Command hybridbench regenerates the paper's tables and figures on the
+// simulated system.
+//
+// Usage:
+//
+//	hybridbench -list
+//	hybridbench -exp fig14b
+//	hybridbench -exp all -scale full
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybridstore/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+		scaleFlag = flag.String("scale", "full", "workload scale: 'full' or 'small'")
+		listFlag  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "full":
+		sc = experiments.FullScale()
+	case "small":
+		sc = experiments.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or small)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var targets []experiments.Experiment
+	if *expFlag == "all" {
+		targets = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			targets = append(targets, e)
+		}
+	}
+
+	for _, e := range targets {
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,202 @@
+// Command searchsim runs an end-to-end search engine simulation with the
+// paper's two-level SSD cache and prints a full system report: hit ratios,
+// Table I situations, device counters and SSD wear.
+//
+// Usage:
+//
+//	searchsim -queries 10000 -policy cbslru
+//	searchsim -queries 5000 -policy lru -mode onelevel
+//	searchsim -docs 2000000 -mem 3145728 -report-every 2000
+//	searchsim -ftl blockmap -queries 3000         # §II-A FTL ablation
+//	searchsim -result-ttl 30s -list-ttl 30s       # §IV-B dynamic scenario
+//	searchsim -aol user-ct-test.txt               # replay a real AOL log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/core"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/workload"
+)
+
+func main() {
+	var (
+		queries     = flag.Int("queries", 10000, "queries to run")
+		docs        = flag.Int("docs", 1_000_000, "collection size")
+		vocab       = flag.Int("vocab", 5000, "vocabulary size")
+		mem         = flag.Int64("mem", 3<<20, "memory cache bytes")
+		ssdRC       = flag.Int64("ssd-rc", 2<<20, "SSD result-cache region bytes")
+		ssdIC       = flag.Int64("ssd-ic", 24<<20, "SSD list-cache region bytes")
+		policyFlag  = flag.String("policy", "cbslru", "cache policy: lru, cblru, cbslru")
+		modeFlag    = flag.String("mode", "twolevel", "cache mode: none, onelevel, twolevel")
+		indexFlag   = flag.String("index-on", "hdd", "index placement: hdd or ssd")
+		ftlFlag     = flag.String("ftl", "pagemap", "cache SSD FTL: pagemap, blockmap, hybridlog")
+		resultTTL   = flag.Duration("result-ttl", 0, "dynamic scenario: TTL for cached results (0 = static)")
+		listTTL     = flag.Duration("list-ttl", 0, "dynamic scenario: TTL for cached lists (0 = static)")
+		aolFile     = flag.String("aol", "", "replay queries from an AOL-format log file instead of the synthetic stream")
+		reportEvery = flag.Int("report-every", 0, "print a progress line every N queries (0 = off)")
+	)
+	flag.Parse()
+
+	policy, err := parsePolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	placement := hybrid.IndexOnHDD
+	if strings.EqualFold(*indexFlag, "ssd") {
+		placement = hybrid.IndexOnSSD
+	}
+	var ftl hybrid.FTLKind
+	switch strings.ToLower(*ftlFlag) {
+	case "pagemap":
+		ftl = hybrid.FTLPageMap
+	case "blockmap":
+		ftl = hybrid.FTLBlockMap
+	case "hybridlog":
+		ftl = hybrid.FTLHybridLog
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ftl %q\n", *ftlFlag)
+		os.Exit(2)
+	}
+
+	collection := workload.DefaultCollection(*docs)
+	collection.VocabSize = *vocab
+	collection.MaxDFShare = 0.2
+	cacheCfg := core.DefaultConfig(*mem)
+	cacheCfg.Policy = policy
+	cacheCfg.TEV = 2
+	cacheCfg.SSDResultBytes = *ssdRC
+	cacheCfg.SSDListBytes = *ssdIC
+	cacheCfg.ResultTTL = *resultTTL
+	cacheCfg.ListTTL = *listTTL
+	engCfg := engine.DefaultConfig()
+	engCfg.TerminationFrac = 0.35
+
+	sys, err := hybrid.New(hybrid.Config{
+		Collection: collection,
+		QueryLog:   workload.DefaultQueryLog(collection.VocabSize),
+		Cache:      cacheCfg,
+		Mode:       mode,
+		IndexOn:    placement,
+		Engine:     engCfg,
+		UseModelPU: true,
+		CacheFTL:   ftl,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var replay *workload.ReplayLog
+	if *aolFile != "" {
+		f, err := os.Open(*aolFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		qs, err := workload.ParseAOL(f, workload.AOLParseOptions{
+			VocabSize: *vocab, SkipHeader: true,
+		})
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(qs) == 0 {
+			fmt.Fprintln(os.Stderr, "AOL log contained no usable queries")
+			os.Exit(1)
+		}
+		replay = workload.NewReplayLog(qs)
+		fmt.Printf("replaying %d queries from %s (cycling to %d)\n", len(qs), *aolFile, *queries)
+	}
+
+	if policy == core.PolicyCBSLRU && mode == hybrid.CacheTwoLevel {
+		ws, err := sys.WarmupStatic(*queries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("static warmup: pinned %d results, %d lists (from %d sampled queries)\n",
+			ws.PinnedResults, ws.PinnedLists, ws.SampleQueries)
+	}
+
+	step := *queries
+	if *reportEvery > 0 && *reportEvery < step {
+		step = *reportEvery
+	}
+	done := 0
+	for done < *queries {
+		n := step
+		if *queries-done < n {
+			n = *queries - done
+		}
+		var rs hybrid.RunStats
+		var err error
+		if replay != nil {
+			start := sys.Clock.Now()
+			for i := 0; i < n; i++ {
+				if _, info, serr := sys.Search(replay.Next()); serr != nil {
+					fmt.Fprintln(os.Stderr, serr)
+					os.Exit(1)
+				} else {
+					rs.Queries++
+					rs.TotalTime += info.Elapsed
+					if info.Cached {
+						rs.ResultHits++
+					}
+				}
+			}
+			rs.WallTime = sys.Clock.Now() - start
+		} else {
+			rs, err = sys.Run(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		done += n
+		if *reportEvery > 0 {
+			fmt.Printf("[%6d] mean_resp=%v throughput=%.1f q/s\n",
+				done, rs.MeanResponseTime(), rs.Throughput())
+		}
+	}
+	fmt.Println()
+	fmt.Print(sys.Report())
+}
+
+func parsePolicy(s string) (core.Policy, error) {
+	switch strings.ToLower(s) {
+	case "lru":
+		return core.PolicyLRU, nil
+	case "cblru":
+		return core.PolicyCBLRU, nil
+	case "cbslru":
+		return core.PolicyCBSLRU, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want lru, cblru, cbslru)", s)
+	}
+}
+
+func parseMode(s string) (hybrid.CacheMode, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return hybrid.CacheNone, nil
+	case "onelevel":
+		return hybrid.CacheOneLevel, nil
+	case "twolevel":
+		return hybrid.CacheTwoLevel, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want none, onelevel, twolevel)", s)
+	}
+}

@@ -1,0 +1,125 @@
+// Command tracegen generates and characterizes search engine I/O traces
+// (the reproduction's counterpart of DiskMon + the UMass trace repository,
+// §III and Fig 1).
+//
+// Usage:
+//
+//	tracegen -kind websearch -reads 5000        # UMass-like synthetic trace
+//	tracegen -kind engine -queries 500          # trace our engine's disk reads
+//	tracegen -kind engine -csv > trace.csv      # raw (seq, sector) series
+//	tracegen -spc WebSearch1.spc                # characterize a real SPC trace
+//	tracegen -kind websearch -out-spc out.spc   # export in SPC format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/storage"
+	"hybridstore/internal/trace"
+	"hybridstore/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "engine", "trace kind: 'websearch' (synthetic) or 'engine' (measured)")
+		spcIn   = flag.String("spc", "", "read an SPC-format trace file (e.g. a UMass WebSearch trace) instead of generating")
+		spcOut  = flag.String("out-spc", "", "write the trace to this file in SPC format")
+		limit   = flag.Int("limit", 0, "spc: max records to read (0 = all)")
+		reads   = flag.Int("reads", 5000, "websearch: number of reads to synthesize")
+		queries = flag.Int("queries", 500, "engine: number of queries to trace")
+		docs    = flag.Int("docs", 1_000_000, "engine: collection size")
+		csv     = flag.Bool("csv", false, "emit the full (seq,sector) series as CSV instead of a summary")
+		seed    = flag.Uint64("seed", 0x0eb, "websearch: generator seed")
+	)
+	flag.Parse()
+
+	var ops []storage.Op
+	if *spcIn != "" {
+		f, err := os.Open(*spcIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		recs, err := trace.ParseSPC(f, *limit)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ops = trace.SPCOps(recs)
+		report(ops, *csv, *spcOut)
+		return
+	}
+	switch *kind {
+	case "websearch":
+		p := trace.DefaultWebSearchParams()
+		p.Reads = *reads
+		p.Seed = *seed
+		ops = trace.SyntheticWebSearch(p)
+	case "engine":
+		collection := workload.DefaultCollection(*docs)
+		collection.VocabSize = 5000
+		collection.MaxDFShare = 0.2
+		engCfg := engine.DefaultConfig()
+		engCfg.TerminationFrac = 0.35
+		sys, err := hybrid.New(hybrid.Config{
+			Collection: collection,
+			QueryLog:   workload.DefaultQueryLog(collection.VocabSize),
+			Mode:       hybrid.CacheNone,
+			IndexOn:    hybrid.IndexOnHDD,
+			Engine:     engCfg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rec := trace.NewRecorder(0)
+		sys.HDD.SetOpHook(rec.Record)
+		if _, err := sys.Run(*queries); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ops = rec.Ops()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	report(ops, *csv, *spcOut)
+}
+
+// report prints the requested view of the trace and optionally exports it.
+func report(ops []storage.Op, csv bool, spcOut string) {
+	if spcOut != "" {
+		f, err := os.Create(spcOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.WriteSPC(f, ops); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %d ops to %s\n", len(ops), spcOut)
+	}
+	if csv {
+		fmt.Println("read_seq,logical_sector")
+		for _, p := range trace.ReadSequence(ops) {
+			fmt.Printf("%d,%d\n", p.Seq, p.LSN)
+		}
+		return
+	}
+	ch := trace.Analyze(ops)
+	fmt.Printf("operations:            %d\n", ch.Ops)
+	fmt.Printf("reads:                 %d (%.2f%%)\n", ch.Reads, 100*ch.ReadFraction)
+	fmt.Printf("unique sectors:        %d\n", ch.UniqueSectors)
+	fmt.Printf("top-10%% sector share:  %.3f\n", ch.Top10PctShare)
+	fmt.Printf("sequential fraction:   %.3f\n", ch.SequentialFraction)
+	fmt.Printf("forward-skip fraction: %.3f\n", ch.ForwardSkipFraction)
+	fmt.Printf("backward fraction:     %.3f\n", ch.BackwardFraction)
+}

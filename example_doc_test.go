@@ -1,0 +1,45 @@
+package hybrid_test
+
+import (
+	"fmt"
+	"log"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/core"
+	"hybridstore/internal/workload"
+)
+
+// Example demonstrates the minimal end-to-end flow: build a small system,
+// search the same query twice, and observe the result cache taking over.
+// Everything runs on a virtual clock, so the output is deterministic.
+func Example() {
+	cfg := hybrid.DefaultConfig()
+	cfg.Collection.NumDocs = 50_000
+	cfg.Collection.VocabSize = 500
+	cfg.QueryLog.VocabSize = 500
+	cfg.Cache = core.DefaultConfig(1 << 20)
+	cfg.Cache.SSDResultBytes = 1 << 20
+	cfg.Cache.SSDListBytes = 4 << 20
+
+	sys, err := hybrid.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := workload.Query{ID: 42, Terms: []workload.TermID{0, 7}}
+
+	res1, info1, err := sys.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, info2, err := sys.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first:  %d results, cached=%v\n", len(res1.Docs), info1.Cached)
+	fmt.Printf("second: %d results, cached=%v\n", len(res2.Docs), info2.Cached)
+	fmt.Printf("identical top hit: %v\n", res1.Docs[0].Doc == res2.Docs[0].Doc)
+	// Output:
+	// first:  50 results, cached=false
+	// second: 50 results, cached=true
+	// identical top hit: true
+}

@@ -1,0 +1,46 @@
+// Quickstart: build the paper's two-level hybrid storage architecture with
+// defaults, push queries through it, and print the system report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hybrid "hybridstore"
+)
+
+func main() {
+	// DefaultConfig assembles the whole simulated stack: a synthetic
+	// enwiki-like collection indexed on a simulated 7200 RPM HDD, an
+	// AOL-like query log, a memory L1 (20% results / 80% lists) and an
+	// SSD L2 managed by CBLRU.
+	cfg := hybrid.DefaultConfig()
+	cfg.Collection.NumDocs = 300_000 // keep the quickstart quick
+	cfg.Collection.VocabSize = 2000
+	cfg.QueryLog.VocabSize = cfg.Collection.VocabSize
+
+	sys, err := hybrid.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run one query by hand to see the per-query API...
+	q := sys.Log.Next()
+	res, info, err := sys.Search(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %d (%d terms) -> %d results in %v (cached=%v)\n",
+		q.ID, len(q.Terms), len(res.Docs), info.Elapsed, info.Cached)
+	fmt.Printf("top hit: doc %d score %.2f\n\n", res.Docs[0].Doc, res.Docs[0].Score)
+
+	// ...then drive a few thousand from the log.
+	rs, err := sys.Run(3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3000 queries: mean response %v, throughput %.1f q/s\n\n",
+		rs.MeanResponseTime(), rs.Throughput())
+
+	fmt.Println(sys.Report())
+}

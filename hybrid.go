@@ -1,0 +1,368 @@
+// Package hybrid is the public facade of the reproduction of "An Efficient
+// SSD-based Hybrid Storage Architecture for Large-scale Search Engines"
+// (Li et al., ICPP 2012).
+//
+// It assembles the full simulated system of the paper's Fig 2 — query
+// engine, two-level cache manager (memory L1, SSD L2), SSD and HDD device
+// models, synthetic collection and query log — behind one Config/System
+// pair:
+//
+//	sys, err := hybrid.New(hybrid.DefaultConfig())
+//	...
+//	for i := 0; i < 10000; i++ {
+//	    res, info, err := sys.SearchNext()
+//	    ...
+//	}
+//	fmt.Println(sys.Report())
+//
+// Everything is deterministic: the same Config replays the same queries
+// over the same index with the same simulated timings.
+package hybrid
+
+import (
+	"fmt"
+	"time"
+
+	"hybridstore/internal/core"
+	"hybridstore/internal/disksim"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/flashsim"
+	"hybridstore/internal/index"
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/storage"
+	"hybridstore/internal/workload"
+)
+
+// Re-exported policy constants so callers need only this package.
+const (
+	PolicyLRU    = core.PolicyLRU
+	PolicyCBLRU  = core.PolicyCBLRU
+	PolicyCBSLRU = core.PolicyCBSLRU
+)
+
+// IndexPlacement says which device stores the index files (Table I's
+// "HDD"/"SSD" index storage variants of Figs 15 and 18).
+type IndexPlacement int
+
+// Index placement options.
+const (
+	IndexOnHDD IndexPlacement = iota
+	IndexOnSSD
+)
+
+// FTLKind selects the flash translation layer of the cache SSD (§II-A).
+type FTLKind int
+
+// FTL choices for the cache SSD. The paper baselines on the ideal
+// page-mapped FTL; the block-mapped and hybrid log-block alternatives it
+// surveys are available for ablation.
+const (
+	FTLPageMap FTLKind = iota
+	FTLBlockMap
+	FTLHybridLog
+)
+
+// String names the FTL.
+func (f FTLKind) String() string {
+	switch f {
+	case FTLPageMap:
+		return "page-map"
+	case FTLBlockMap:
+		return "block-map"
+	case FTLHybridLog:
+		return "hybrid-log"
+	default:
+		return fmt.Sprintf("FTLKind(%d)", int(f))
+	}
+}
+
+// CacheMode selects the hierarchy depth.
+type CacheMode int
+
+// Cache modes: none (Fig 15), one-level = memory only ("1LC"), two-level =
+// memory + SSD ("2LC").
+const (
+	CacheNone CacheMode = iota
+	CacheOneLevel
+	CacheTwoLevel
+)
+
+// Config assembles a full simulated system.
+type Config struct {
+	// Collection describes the synthetic document collection.
+	Collection workload.CollectionSpec
+	// QueryLog describes the synthetic query stream.
+	QueryLog workload.QueryLogSpec
+	// Cache configures the cache manager (policy, capacities). The SSD
+	// regions are ignored unless Mode is CacheTwoLevel.
+	Cache core.Config
+	// Mode selects no cache, memory-only, or memory+SSD.
+	Mode CacheMode
+	// IndexOn places the index files on HDD (default) or SSD.
+	IndexOn IndexPlacement
+	// Engine tunes query processing (top-K, early termination).
+	Engine engine.Config
+	// UseModelPU, when true, supplies the analytic utilization model of
+	// Fig 3(a) as the PU source (the paper assumes PU "already known by
+	// analyzing the query log"). When false PU is measured online.
+	UseModelPU bool
+	// CacheFTL selects the cache SSD's flash translation layer
+	// (default: the paper's ideal page-mapped baseline).
+	CacheFTL FTLKind
+}
+
+// DefaultConfig returns a laptop-scale rendition of the paper's evaluation
+// setup (Table II): 1M documents standing in for 5M, AOL-like query log,
+// CBLRU two-level cache with the 20/80 memory split and 10×/100× SSD
+// regions.
+func DefaultConfig() Config {
+	collection := workload.DefaultCollection(1_000_000)
+	return Config{
+		Collection: collection,
+		QueryLog:   workload.DefaultQueryLog(collection.VocabSize),
+		Cache:      core.DefaultConfig(8 << 20),
+		Mode:       CacheTwoLevel,
+		IndexOn:    IndexOnHDD,
+		Engine:     engine.DefaultConfig(),
+		UseModelPU: true,
+	}
+}
+
+// CacheDevice is the surface every cache-SSD FTL variant exposes.
+type CacheDevice interface {
+	storage.Device
+	storage.Trimmer
+	Wear() flashsim.WearStats
+	Stats() storage.DeviceStats
+	PageSize() int
+	BlockSize() int64
+}
+
+// System is an assembled simulation: devices, index, caches, engine, log.
+type System struct {
+	Clock    *simclock.Clock
+	HDD      *disksim.HDD  // nil when the index lives on SSD
+	IndexSSD *flashsim.SSD // nil when the index lives on HDD
+	CacheSSD CacheDevice   // nil unless Mode == CacheTwoLevel
+	Index    *index.Index
+	Manager  *core.Manager // nil when Mode == CacheNone
+	Engine   *engine.Engine
+	Log      *workload.QueryLog
+
+	cfg       Config
+	cacheCfg  core.Config // effective manager config (after mode/PU wiring)
+	engCfg    engine.Config
+	docBytes  int
+	baseline  engine.ListSource // raw index, for uncached execution
+	uncachedE *engine.Engine
+}
+
+// New builds the system: devices sized to the index, the index bulk-loaded
+// onto its device, cache manager and engine wired to the shared clock.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Collection.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.QueryLog.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueryLog.VocabSize > cfg.Collection.VocabSize {
+		return nil, fmt.Errorf("hybrid: query log vocabulary (%d) exceeds collection vocabulary (%d)",
+			cfg.QueryLog.VocabSize, cfg.Collection.VocabSize)
+	}
+	clock := simclock.New()
+	s := &System{Clock: clock, cfg: cfg}
+
+	ixBytes := index.RequiredBytes(cfg.Collection)
+	var ixDev storage.Device
+	switch cfg.IndexOn {
+	case IndexOnHDD:
+		s.HDD = disksim.New("hdd", clock, disksim.DefaultParams(ixBytes+(1<<20)))
+		ixDev = s.HDD
+	case IndexOnSSD:
+		s.IndexSSD = flashsim.New("index-ssd", clock, flashsim.DefaultParams(ixBytes+(1<<20)))
+		ixDev = s.IndexSSD
+	default:
+		return nil, fmt.Errorf("hybrid: unknown index placement %d", cfg.IndexOn)
+	}
+	ix, err := index.Build(ixDev, cfg.Collection)
+	if err != nil {
+		return nil, err
+	}
+	s.Index = ix
+	s.baseline = ix
+
+	engCfg := cfg.Engine
+	engCfg.Clock = clock
+	s.docBytes = engCfg.DocResultBytes
+	if s.docBytes <= 0 {
+		s.docBytes = 400
+	}
+	s.uncachedE = engine.New(ix, engCfg)
+
+	if cfg.Mode != CacheNone {
+		cacheCfg := cfg.Cache
+		if cfg.Mode == CacheOneLevel {
+			cacheCfg.SSDResultBytes, cacheCfg.SSDListBytes = 0, 0
+		}
+		if cfg.UseModelPU {
+			model := workload.NewUtilizationModel(cfg.Collection)
+			cacheCfg.PU = model.PU
+		}
+		var cacheDev storage.Device
+		if cfg.Mode == CacheTwoLevel {
+			// The cache SSD lives on a private clock: the manager charges
+			// foreground read time (including queueing behind background
+			// flushes) onto the shared clock itself.
+			need := cacheCfg.SSDResultBytes + cacheCfg.SSDListBytes + (2 << 20)
+			params := flashsim.DefaultParams(need)
+			switch cfg.CacheFTL {
+			case FTLPageMap:
+				s.CacheSSD = flashsim.New("cache-ssd", simclock.New(), params)
+			case FTLBlockMap:
+				s.CacheSSD = flashsim.NewBlockMapped("cache-ssd", simclock.New(), params)
+			case FTLHybridLog:
+				s.CacheSSD = flashsim.NewHybridLog("cache-ssd", simclock.New(), params)
+			default:
+				return nil, fmt.Errorf("hybrid: unknown cache FTL %d", cfg.CacheFTL)
+			}
+			cacheDev = s.CacheSSD
+		}
+		m, err := core.New(clock, ix, cacheDev, cacheCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Manager = m
+		s.cacheCfg = cacheCfg
+		s.Engine = engine.New(m, engCfg)
+	} else {
+		s.Engine = s.uncachedE
+	}
+	s.engCfg = engCfg
+
+	s.Log = workload.NewQueryLog(cfg.QueryLog)
+	return s, nil
+}
+
+// SearchInfo describes how one query was served.
+type SearchInfo struct {
+	// Cached is true when the result came from the result cache.
+	Cached bool
+	// Source reports the cache level on a hit.
+	Source core.ResultSource
+	// Elapsed is the simulated response time.
+	Elapsed time.Duration
+	// BytesRead counts list bytes the execution pulled (0 on result hits).
+	BytesRead int64
+}
+
+// Search processes one query through the full hierarchy: result-cache
+// lookup, query execution on miss, result caching, situation accounting.
+func (s *System) Search(q workload.Query) (*engine.Result, SearchInfo, error) {
+	sw := simclock.StartStopwatch(s.Clock)
+	if s.Manager == nil {
+		res, stats, err := s.Engine.Execute(q)
+		return res, SearchInfo{Elapsed: sw.Elapsed(), BytesRead: stats.BytesRead}, err
+	}
+
+	m := s.Manager
+	m.BeginQuery(q.ID)
+	if data, src := m.GetResult(q.ID); src != core.ResultMiss {
+		res, err := engine.DecodeResult(data)
+		info := SearchInfo{Cached: true, Source: src, Elapsed: sw.Elapsed()}
+		m.EndQuery(info.Elapsed)
+		return res, info, err
+	}
+
+	res, stats, err := s.Engine.Execute(q)
+	if err != nil {
+		m.EndQuery(sw.Elapsed())
+		return nil, SearchInfo{Elapsed: sw.Elapsed()}, err
+	}
+	for _, ts := range stats.Terms {
+		m.RecordUtilization(ts.Term, ts.Utilization)
+	}
+	if err := m.PutResult(q.ID, m.PadResult(res.Encode(s.docBytes))); err != nil {
+		m.EndQuery(sw.Elapsed())
+		return nil, SearchInfo{Elapsed: sw.Elapsed()}, err
+	}
+	info := SearchInfo{Elapsed: sw.Elapsed(), BytesRead: stats.BytesRead}
+	m.EndQuery(info.Elapsed)
+	return res, info, nil
+}
+
+// SaveCacheMappings persists the SSD cache's mapping tables to the cache
+// device so a later RestartWarm (or an out-of-process restart against the
+// same device) resumes with a warm L2 cache. Two-level systems only.
+func (s *System) SaveCacheMappings() error {
+	if s.Manager == nil || s.CacheSSD == nil {
+		return fmt.Errorf("hybrid: no two-level cache to persist")
+	}
+	return s.Manager.SaveMappings()
+}
+
+// RestartWarm simulates a process restart with a persistent SSD: the
+// in-memory L1 caches and mapping tables are discarded, then the manager
+// is rebuilt from the mappings SaveCacheMappings stored on the cache
+// device. The restored manager serves SSD-resident data without cold
+// misses.
+func (s *System) RestartWarm() error {
+	if s.Manager == nil || s.CacheSSD == nil {
+		return fmt.Errorf("hybrid: no two-level cache to restore")
+	}
+	m, err := core.Restore(s.Clock, s.Index, s.CacheSSD, s.cacheCfg)
+	if err != nil {
+		return err
+	}
+	s.Manager = m
+	s.Engine = engine.New(m, s.engCfg)
+	return nil
+}
+
+// SearchNext pulls the next query from the log and Searches it.
+func (s *System) SearchNext() (*engine.Result, SearchInfo, error) {
+	return s.Search(s.Log.Next())
+}
+
+// Run executes n queries from the log and returns aggregate measurements.
+func (s *System) Run(n int) (RunStats, error) {
+	var rs RunStats
+	start := s.Clock.Now()
+	for i := 0; i < n; i++ {
+		_, info, err := s.SearchNext()
+		if err != nil {
+			return rs, fmt.Errorf("hybrid: query %d: %w", i, err)
+		}
+		rs.Queries++
+		rs.TotalTime += info.Elapsed
+		if info.Cached {
+			rs.ResultHits++
+		}
+	}
+	rs.WallTime = s.Clock.Now() - start
+	return rs, nil
+}
+
+// RunStats aggregates a Run.
+type RunStats struct {
+	Queries    int
+	ResultHits int
+	TotalTime  time.Duration
+	WallTime   time.Duration
+}
+
+// MeanResponseTime returns the average simulated response time.
+func (r RunStats) MeanResponseTime() time.Duration {
+	if r.Queries == 0 {
+		return 0
+	}
+	return r.TotalTime / time.Duration(r.Queries)
+}
+
+// Throughput returns simulated queries per second.
+func (r RunStats) Throughput() float64 {
+	if r.WallTime <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.WallTime.Seconds()
+}

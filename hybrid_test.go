@@ -1,0 +1,457 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hybridstore/internal/core"
+	"hybridstore/internal/engine"
+	"hybridstore/internal/workload"
+)
+
+// smallConfig returns a fast, laptop-scale system for integration tests,
+// shaped so the caches are under genuine capacity pressure (the regime the
+// paper's policies are designed for): large hot lists relative to L1,
+// SSD regions that hold the hot set.
+func smallConfig(policy core.Policy, mode CacheMode) Config {
+	collection := workload.DefaultCollection(1_000_000)
+	collection.VocabSize = 3000
+	collection.MaxDFShare = 0.2
+	log := workload.DefaultQueryLog(collection.VocabSize)
+	log.DistinctQueries = 10000
+
+	cacheCfg := core.DefaultConfig(3 << 19) // 1.5 MiB memory
+	cacheCfg.Policy = policy
+	cacheCfg.TEV = 2
+	cacheCfg.SSDResultBytes = 2 << 20
+	cacheCfg.SSDListBytes = 12 << 20
+
+	engCfg := engine.DefaultConfig()
+	engCfg.TerminationFrac = 0.35
+
+	return Config{
+		Collection: collection,
+		QueryLog:   log,
+		Cache:      cacheCfg,
+		Mode:       mode,
+		IndexOn:    IndexOnHDD,
+		Engine:     engCfg,
+		UseModelPU: true,
+	}
+}
+
+func TestNewBuildsAllModes(t *testing.T) {
+	for _, mode := range []CacheMode{CacheNone, CacheOneLevel, CacheTwoLevel} {
+		sys, err := New(smallConfig(core.PolicyCBLRU, mode))
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if mode == CacheTwoLevel && sys.CacheSSD == nil {
+			t.Fatal("two-level system lacks cache SSD")
+		}
+		if mode != CacheTwoLevel && sys.CacheSSD != nil {
+			t.Fatal("unexpected cache SSD")
+		}
+		if mode == CacheNone && sys.Manager != nil {
+			t.Fatal("uncached system has a manager")
+		}
+		if _, _, err := sys.SearchNext(); err != nil {
+			t.Fatalf("mode %d: search: %v", mode, err)
+		}
+	}
+}
+
+func TestIndexOnSSD(t *testing.T) {
+	cfg := smallConfig(core.PolicyCBLRU, CacheOneLevel)
+	cfg.IndexOn = IndexOnSSD
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.IndexSSD == nil || sys.HDD != nil {
+		t.Fatal("index device wrong")
+	}
+	if _, _, err := sys.SearchNext(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.IndexSSD.Stats().Reads == 0 {
+		t.Fatal("no reads hit the index SSD")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	cfg := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		ra, ia, ea := a.SearchNext()
+		rb, ib, eb := b.SearchNext()
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("query %d: error divergence %v vs %v", i, ea, eb)
+		}
+		if ia.Elapsed != ib.Elapsed || ia.Cached != ib.Cached {
+			t.Fatalf("query %d: info divergence %+v vs %+v", i, ia, ib)
+		}
+		if len(ra.Docs) != len(rb.Docs) {
+			t.Fatalf("query %d: result divergence", i)
+		}
+		for j := range ra.Docs {
+			if ra.Docs[j] != rb.Docs[j] {
+				t.Fatalf("query %d doc %d: %v vs %v", i, j, ra.Docs[j], rb.Docs[j])
+			}
+		}
+	}
+}
+
+func TestCachedResultMatchesComputed(t *testing.T) {
+	sys, err := New(smallConfig(core.PolicyCBLRU, CacheTwoLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sys.Log.QueryByID(3)
+	first, info1, err := sys.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info1.Cached {
+		t.Fatal("first search reported cached")
+	}
+	second, info2, err := sys.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Cached {
+		t.Fatal("repeat search not cached")
+	}
+	if len(first.Docs) != len(second.Docs) {
+		t.Fatalf("cached result truncated: %d vs %d", len(second.Docs), len(first.Docs))
+	}
+	for i := range first.Docs {
+		if first.Docs[i].Doc != second.Docs[i].Doc {
+			t.Fatalf("cached result differs at rank %d", i)
+		}
+	}
+}
+
+func TestHitRatioGrowsWithRepetition(t *testing.T) {
+	sys, err := New(smallConfig(core.PolicyCBLRU, CacheTwoLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sys.Run(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Manager.Stats()
+	if st.ResultHitRatio() < 0.15 {
+		t.Fatalf("RC hit ratio %.3f too low for a Zipf query stream", st.ResultHitRatio())
+	}
+	if st.ListHitRatio() <= 0 {
+		t.Fatal("IC never hit")
+	}
+	if rs.Queries != 1500 || rs.MeanResponseTime() <= 0 || rs.Throughput() <= 0 {
+		t.Fatalf("run stats: %+v", rs)
+	}
+}
+
+func TestSituationsPopulated(t *testing.T) {
+	sys, err := New(smallConfig(core.PolicyCBLRU, CacheTwoLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(800); err != nil {
+		t.Fatal(err)
+	}
+	tally := sys.Manager.Stats().Situations
+	if tally.Total() != 800 {
+		t.Fatalf("tally total = %d", tally.Total())
+	}
+	if tally.Counts[core.S1ResultMem] == 0 {
+		t.Fatal("no S1 (memory result hits) in a repetitive stream")
+	}
+	if tally.Counts[core.S9ListsHDD] == 0 {
+		t.Fatal("no S9 (pure HDD) queries — cold misses must exist")
+	}
+}
+
+func TestCBLRUBeatsLRUHitRatio(t *testing.T) {
+	// The paper's headline (Fig 14b): CBLRU achieves a higher hit ratio
+	// than LRU at equal capacity, because it caches used prefixes and
+	// evicts by efficiency value.
+	run := func(policy core.Policy) core.Stats {
+		sys, err := New(smallConfig(policy, CacheTwoLevel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(2000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Manager.Stats()
+	}
+	lru := run(core.PolicyLRU)
+	cblru := run(core.PolicyCBLRU)
+	if cblru.CombinedHitRatio() <= lru.CombinedHitRatio() {
+		t.Fatalf("CBLRU RIC %.4f not above LRU RIC %.4f",
+			cblru.CombinedHitRatio(), lru.CombinedHitRatio())
+	}
+}
+
+func TestCBLRUFasterThanLRU(t *testing.T) {
+	// Fig 17: lower mean response time under CBLRU. Measured warm, as the
+	// paper's steady-state curves are: the cost-based policies pay their
+	// flush traffic up front and win on the recurring workload.
+	run := func(policy core.Policy) time.Duration {
+		sys, err := New(smallConfig(policy, CacheTwoLevel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(2000); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := sys.Run(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.MeanResponseTime()
+	}
+	lru := run(core.PolicyLRU)
+	cblru := run(core.PolicyCBLRU)
+	if cblru >= lru {
+		t.Fatalf("CBLRU response %v not below LRU %v", cblru, lru)
+	}
+}
+
+func TestCBLRUFewerErasesThanLRU(t *testing.T) {
+	// Fig 19a: block-aligned log writes erase less than small random
+	// writes at equal workload.
+	run := func(policy core.Policy) int64 {
+		sys, err := New(smallConfig(policy, CacheTwoLevel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(2500); err != nil {
+			t.Fatal(err)
+		}
+		return sys.CacheSSD.Wear().TotalErases
+	}
+	lru := run(core.PolicyLRU)
+	cblru := run(core.PolicyCBLRU)
+	if cblru > lru {
+		t.Fatalf("CBLRU erases %d above LRU erases %d", cblru, lru)
+	}
+}
+
+func TestWarmupStaticPinsAndHelps(t *testing.T) {
+	cfg := smallConfig(core.PolicyCBSLRU, CacheTwoLevel)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := sys.WarmupStatic(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.PinnedResults == 0 || ws.PinnedLists == 0 {
+		t.Fatalf("warmup pinned nothing: %+v", ws)
+	}
+	sys.Manager.ResetStats()
+	if _, err := sys.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Manager.Stats()
+	if st.ResultHitsSSD == 0 && st.ListBytesFromSSD == 0 {
+		t.Fatal("static partition never served anything")
+	}
+}
+
+func TestWarmupNoopForOtherPolicies(t *testing.T) {
+	sys, err := New(smallConfig(core.PolicyCBLRU, CacheTwoLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := sys.WarmupStatic(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.PinnedResults != 0 || ws.PinnedLists != 0 {
+		t.Fatalf("warmup pinned under CBLRU: %+v", ws)
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	sys, err := New(smallConfig(core.PolicyCBLRU, CacheTwoLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.Report()
+	for _, want := range []string{"policy=CBLRU", "hit ratios", "hdd:", "cache-ssd"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCacheHierarchyPreservesRankings(t *testing.T) {
+	// The cache hierarchy must be semantically transparent: for every
+	// query, executing through the manager yields exactly the ranking the
+	// uncached engine computes on the raw index. Run enough queries that
+	// every cache transition (fill, evict, SSD reload, partial hit) is
+	// exercised.
+	for _, policy := range []core.Policy{core.PolicyLRU, core.PolicyCBLRU} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := smallConfig(policy, CacheTwoLevel)
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engCfg := engine.DefaultConfig()
+			engCfg.TerminationFrac = cfg.Engine.TerminationFrac
+			raw := engine.New(sys.Index, engCfg)
+			for i := 0; i < 300; i++ {
+				q := sys.Log.Next()
+				got, _, err := sys.Engine.Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := raw.Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Docs) != len(want.Docs) {
+					t.Fatalf("query %d: %d vs %d docs", q.ID, len(got.Docs), len(want.Docs))
+				}
+				for j := range got.Docs {
+					if got.Docs[j] != want.Docs[j] {
+						t.Fatalf("query %d rank %d: %+v vs %+v",
+							q.ID, j, got.Docs[j], want.Docs[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWarmRestartKeepsSSDCache(t *testing.T) {
+	sys, err := New(smallConfig(core.PolicyCBLRU, CacheTwoLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(1200); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveCacheMappings(); err != nil {
+		t.Fatal(err)
+	}
+	preStats := sys.Manager.Stats()
+	if preStats.ResultHitsSSD+preStats.ResultHitsMem == 0 {
+		t.Skip("nothing cached before restart")
+	}
+	if err := sys.RestartWarm(); err != nil {
+		t.Fatal(err)
+	}
+	// The restarted system must serve SSD hits immediately.
+	if _, err := sys.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	post := sys.Manager.Stats()
+	if post.ResultHitsSSD == 0 && post.ListBytesFromSSD == 0 {
+		t.Fatal("warm restart served nothing from the SSD")
+	}
+}
+
+func TestWarmRestartRequiresTwoLevel(t *testing.T) {
+	sys, err := New(smallConfig(core.PolicyCBLRU, CacheOneLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveCacheMappings(); err == nil {
+		t.Fatal("save succeeded without an SSD")
+	}
+	if err := sys.RestartWarm(); err == nil {
+		t.Fatal("restart succeeded without an SSD")
+	}
+}
+
+func TestCacheFTLVariantsRun(t *testing.T) {
+	for _, ftl := range []FTLKind{FTLPageMap, FTLBlockMap, FTLHybridLog} {
+		cfg := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+		cfg.CacheFTL = ftl
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", ftl, err)
+		}
+		if _, err := sys.Run(150); err != nil {
+			t.Fatalf("%v: %v", ftl, err)
+		}
+		if sys.CacheSSD.Stats().Writes == 0 {
+			t.Fatalf("%v: cache SSD never written", ftl)
+		}
+	}
+	// Unknown FTL is rejected.
+	bad := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	bad.CacheFTL = FTLKind(42)
+	if _, err := New(bad); err == nil {
+		t.Fatal("unknown FTL accepted")
+	}
+}
+
+func TestFTLKindString(t *testing.T) {
+	for ftl, want := range map[FTLKind]string{
+		FTLPageMap: "page-map", FTLBlockMap: "block-map", FTLHybridLog: "hybrid-log",
+	} {
+		if got := ftl.String(); got != want {
+			t.Fatalf("%d.String() = %q", ftl, got)
+		}
+	}
+	if FTLKind(9).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}
+
+func TestTTLPlumbedThroughFacade(t *testing.T) {
+	cfg := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	cfg.Cache.ResultTTL = time.Millisecond // everything expires immediately
+	cfg.Cache.ListTTL = time.Millisecond
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Manager.Stats()
+	if st.ResultsExpired == 0 && st.ListsExpired == 0 {
+		t.Fatal("aggressive TTLs expired nothing")
+	}
+	if st.ResultHitRatio() > 0.05 {
+		t.Fatalf("RC hit ratio %.3f despite 1ms TTL", st.ResultHitRatio())
+	}
+}
+
+func TestInvalidConfigsRejected(t *testing.T) {
+	bad := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	bad.Collection.NumDocs = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("zero-doc collection accepted")
+	}
+	bad2 := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	bad2.QueryLog.VocabSize = 0
+	if _, err := New(bad2); err == nil {
+		t.Fatal("bad query log accepted")
+	}
+	bad3 := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	bad3.IndexOn = IndexPlacement(9)
+	if _, err := New(bad3); err == nil {
+		t.Fatal("bad placement accepted")
+	}
+}

@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetPeek(t *testing.T) {
+	l := NewList(100)
+	l.Put(1, 10, "a")
+	e, ok := l.Get(1)
+	if !ok || e.Value.(string) != "a" || e.Size != 10 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if _, ok := l.Peek(2); ok {
+		t.Fatal("Peek found missing key")
+	}
+	if l.Used() != 10 || l.Free() != 90 || l.Len() != 1 {
+		t.Fatalf("accounting wrong: used=%d free=%d len=%d", l.Used(), l.Free(), l.Len())
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	l := NewList(100)
+	l.Put(1, 1, nil)
+	l.Put(2, 1, nil)
+	l.Put(3, 1, nil)
+	if got := l.LRUEntry().Key; got != 1 {
+		t.Fatalf("LRU = %d, want 1", got)
+	}
+	l.Get(1) // promote
+	if got := l.LRUEntry().Key; got != 2 {
+		t.Fatalf("LRU after promote = %d, want 2", got)
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	l := NewList(100)
+	l.Put(1, 1, nil)
+	l.Put(2, 1, nil)
+	l.Peek(1)
+	if got := l.LRUEntry().Key; got != 1 {
+		t.Fatalf("Peek promoted: LRU = %d", got)
+	}
+}
+
+func TestTouchPromotes(t *testing.T) {
+	l := NewList(100)
+	e := l.Put(1, 1, nil)
+	l.Put(2, 1, nil)
+	l.Touch(e)
+	if got := l.LRUEntry().Key; got != 2 {
+		t.Fatalf("Touch did not promote: LRU = %d", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l := NewList(100)
+	l.Put(1, 30, nil)
+	e, ok := l.Remove(1)
+	if !ok || e.Key != 1 {
+		t.Fatalf("Remove = %+v, %v", e, ok)
+	}
+	if l.Used() != 0 || l.Len() != 0 {
+		t.Fatal("accounting not restored")
+	}
+	if _, ok := l.Remove(1); ok {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestRemoveEntryForeignPanics(t *testing.T) {
+	a := NewList(10)
+	b := NewList(10)
+	e := a.Put(1, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign RemoveEntry did not panic")
+		}
+	}()
+	b.RemoveEntry(e)
+}
+
+func TestPutDuplicatePanics(t *testing.T) {
+	l := NewList(10)
+	l.Put(1, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Put did not panic")
+		}
+	}()
+	l.Put(1, 1, nil)
+}
+
+func TestPutOversizePanics(t *testing.T) {
+	l := NewList(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize Put did not panic")
+		}
+	}()
+	l.Put(1, 11, nil)
+}
+
+func TestFits(t *testing.T) {
+	l := NewList(10)
+	l.Put(1, 6, nil)
+	if !l.Fits(4) {
+		t.Fatal("Fits(4) false with 4 free")
+	}
+	if l.Fits(5) {
+		t.Fatal("Fits(5) true with 4 free")
+	}
+}
+
+func TestResize(t *testing.T) {
+	l := NewList(100)
+	e := l.Put(1, 10, nil)
+	l.Resize(e, 50)
+	if l.Used() != 50 || e.Size != 50 {
+		t.Fatalf("resize: used=%d size=%d", l.Used(), e.Size)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing resize did not panic")
+		}
+	}()
+	l.Resize(e, 101)
+}
+
+func TestTailWindow(t *testing.T) {
+	l := NewList(100)
+	for k := uint64(1); k <= 5; k++ {
+		l.Put(k, 1, nil)
+	}
+	w := l.TailWindow(3)
+	if len(w) != 3 || w[0].Key != 1 || w[1].Key != 2 || w[2].Key != 3 {
+		keys := []uint64{}
+		for _, e := range w {
+			keys = append(keys, e.Key)
+		}
+		t.Fatalf("TailWindow = %v, want [1 2 3]", keys)
+	}
+	if got := len(l.TailWindow(10)); got != 5 {
+		t.Fatalf("oversized window returned %d", got)
+	}
+	empty := NewList(10)
+	if got := len(empty.TailWindow(3)); got != 0 {
+		t.Fatalf("empty list window returned %d", got)
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	l := NewList(100)
+	for k := uint64(1); k <= 4; k++ {
+		l.Put(k, 1, nil)
+	}
+	var seen []uint64
+	l.Ascend(func(e *Entry) bool {
+		seen = append(seen, e.Key)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("Ascend saw %v", seen)
+	}
+}
+
+func TestAscendSafeRemoval(t *testing.T) {
+	l := NewList(100)
+	for k := uint64(1); k <= 4; k++ {
+		l.Put(k, 1, nil)
+	}
+	l.Ascend(func(e *Entry) bool {
+		if e.Key%2 == 1 {
+			l.RemoveEntry(e)
+		}
+		return true
+	})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d after removal during Ascend", l.Len())
+	}
+	if _, ok := l.Peek(1); ok {
+		t.Fatal("removed entry still present")
+	}
+}
+
+func TestEmptyListLRUEntryNil(t *testing.T) {
+	if NewList(10).LRUEntry() != nil {
+		t.Fatal("empty list LRUEntry not nil")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewList(0)
+}
+
+func TestAccountingProperty(t *testing.T) {
+	// Property: Used always equals the sum of resident entry sizes, and
+	// never exceeds capacity as long as callers respect Fits.
+	f := func(ops []uint16) bool {
+		l := NewList(1 << 16)
+		sizes := make(map[uint64]int64)
+		var key uint64
+		for _, raw := range ops {
+			switch raw % 3 {
+			case 0: // put
+				size := int64(raw%512) + 1
+				if l.Fits(size) {
+					key++
+					l.Put(key, size, nil)
+					sizes[key] = size
+				}
+			case 1: // remove LRU
+				if e := l.LRUEntry(); e != nil {
+					l.RemoveEntry(e)
+					delete(sizes, e.Key)
+				}
+			case 2: // touch random-ish
+				if e, ok := l.Peek(uint64(raw) % (key + 1)); ok {
+					l.Touch(e)
+				}
+			}
+			var want int64
+			for _, s := range sizes {
+				want += s
+			}
+			if l.Used() != want || l.Used() > l.Capacity() || l.Len() != len(sizes) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

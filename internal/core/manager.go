@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hybridstore/internal/cache"
+	"hybridstore/internal/index"
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/storage"
+	"hybridstore/internal/workload"
+)
+
+// entryState tracks the paper's SSD entry life cycle (Figs 8–9): a normal
+// entry is valid and read-only; a replaceable entry is still readable but
+// may be overwritten first (its content has been copied back to memory).
+type entryState uint8
+
+const (
+	stateNormal entryState = iota
+	stateReplaceable
+)
+
+// memList is an L1 inverted-list cache entry: the contiguous prefix of a
+// term's list that query processing has touched (Fig 6b).
+type memList struct {
+	term     workload.TermID
+	prefix   []byte
+	loadedAt time.Duration // simulated insertion time, for ListTTL
+}
+
+// ssdList is an L2 inverted-list cache entry: a block-aligned prefix of the
+// list stored in the SSD cache file (Fig 7c).
+type ssdList struct {
+	term       workload.TermID
+	off        int64 // device offset, block-aligned
+	blockBytes int64 // extent length, whole blocks (SC × SB)
+	validBytes int64 // prefix bytes actually present (≤ blockBytes)
+	state      entryState
+	static     bool
+	loadedAt   time.Duration // age of the content, for ListTTL
+}
+
+// ssdResult locates one cached result entry inside a result block (Fig 7a).
+type ssdResult struct {
+	qid      uint64
+	rb       *resultBlock
+	slot     int
+	state    entryState
+	loadedAt time.Duration // age of the content, for ResultTTL
+}
+
+// resultBlock is one 128 KB "RB": the placement and replacement unit of the
+// L2 result cache (Fig 7b). Slots hold fixed-size result entries; nil slots
+// are invalid (overwritten or never filled).
+type resultBlock struct {
+	num    uint64
+	off    int64 // device offset, block-aligned
+	slots  []*ssdResult
+	static bool
+}
+
+// iren returns the invalid-result-entry number of Fig 11: empty slots plus
+// replaceable entries.
+func (rb *resultBlock) iren() int {
+	n := 0
+	for _, s := range rb.slots {
+		if s == nil || s.state == stateReplaceable {
+			n++
+		}
+	}
+	return n
+}
+
+// validCount returns the number of normal (valid, non-replaceable) entries.
+func (rb *resultBlock) validCount() int { return len(rb.slots) - rb.iren() }
+
+// bufferedResult is one evicted result entry waiting in the write buffer
+// for RB assembly (Fig 10b).
+type bufferedResult struct {
+	qid      uint64
+	data     []byte
+	loadedAt time.Duration
+}
+
+// memResult is an L1 result-cache payload.
+type memResult struct {
+	data     []byte
+	loadedAt time.Duration
+}
+
+// Manager is the paper's cache manager (Fig 2): selection management,
+// query management and replacement management over a memory L1, an SSD L2
+// and the backing index store.
+//
+// Manager is not safe for concurrent use; the simulation driver serializes
+// queries, as the paper's single-node evaluation does.
+type Manager struct {
+	cfg   Config
+	clock *simclock.Clock
+	ix    *index.Index
+	ssd   storage.Device // nil = one-level cache (memory only)
+
+	nsPerByteMem float64
+
+	// L1.
+	rc *cache.List // queryID -> []byte (encoded result entry)
+	ic *cache.List // termID -> *memList
+
+	// L2 result cache.
+	entriesPerRB int
+	rbLRU        *cache.List // RB num -> *resultBlock (dynamic RBs only)
+	resultLoc    map[uint64]*ssdResult
+	rcAlloc      *storage.Allocator
+	writeBuf     []bufferedResult
+	nextRB       uint64
+	staticRBs    []*resultBlock
+
+	// L2 inverted-list cache.
+	icLRU    *cache.List // termID -> *ssdList (dynamic entries only)
+	icAlloc  *storage.Allocator
+	icStatic map[workload.TermID]*ssdList
+
+	// Frequency and utilization tracking for Formulas 1–2.
+	termFreq   map[workload.TermID]int64
+	queryFreq  map[uint64]int64
+	puMeasured map[workload.TermID]float64
+
+	// Per-query situation tracking (Table I).
+	curQuery       uint64
+	curQueryActive bool
+	curResultSrc   sourceSet
+	curTermSrc     map[workload.TermID]sourceSet
+
+	// ssdBusyUntil is the simulated time at which the SSD finishes its
+	// queued background work. Cache flushes are asynchronous (the paper's
+	// write buffer decouples them from queries), but they occupy the
+	// device: foreground reads arriving before the horizon must wait,
+	// which is how background write pressure degrades read latency (§VII-D).
+	ssdBusyUntil time.Duration
+
+	stats Stats
+}
+
+// New builds a cache manager over the backing index ix, with ssd as the L2
+// device (nil for a one-level, memory-only cache).
+//
+// The backing index's device must share clock. The SSD cache device must
+// be bound to its OWN private clock: the manager charges foreground SSD
+// read time onto the shared clock itself (including queueing behind
+// background flushes) and treats SSD writes as background work that only
+// pushes the device's busy horizon.
+func New(clock *simclock.Clock, ix *index.Index, ssd storage.Device, cfg Config) (*Manager, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ssd == nil && (cfg.SSDResultBytes > 0 || cfg.SSDListBytes > 0) {
+		return nil, fmt.Errorf("core: SSD regions configured but no SSD device")
+	}
+	if ssd != nil && cfg.SSDResultBytes+cfg.SSDListBytes > ssd.Size() {
+		return nil, fmt.Errorf("core: SSD regions %d+%d exceed device size %d",
+			cfg.SSDResultBytes, cfg.SSDListBytes, ssd.Size())
+	}
+	m := &Manager{
+		cfg:          cfg,
+		clock:        clock,
+		ix:           ix,
+		ssd:          ssd,
+		nsPerByteMem: float64(time.Second) / float64(cfg.MemBytesPerSecond),
+		rc:           cache.NewList(cfg.MemResultBytes),
+		ic:           cache.NewList(cfg.MemListBytes),
+		entriesPerRB: int(cfg.BlockBytes / cfg.ResultEntryBytes),
+		resultLoc:    make(map[uint64]*ssdResult),
+		icStatic:     make(map[workload.TermID]*ssdList),
+		termFreq:     make(map[workload.TermID]int64),
+		queryFreq:    make(map[uint64]int64),
+		puMeasured:   make(map[workload.TermID]float64),
+		curTermSrc:   make(map[workload.TermID]sourceSet),
+	}
+	if m.entriesPerRB < 1 {
+		return nil, fmt.Errorf("core: result entry %d larger than block %d",
+			cfg.ResultEntryBytes, cfg.BlockBytes)
+	}
+	if cfg.SSDResultBytes > 0 {
+		m.rbLRU = cache.NewList(cfg.SSDResultBytes)
+		m.rcAlloc = storage.NewAllocator(cfg.SSDResultBytes)
+	}
+	if cfg.SSDListBytes > 0 {
+		m.icLRU = cache.NewList(cfg.SSDListBytes)
+		m.icAlloc = storage.NewAllocator(cfg.SSDListBytes)
+	}
+	return m, nil
+}
+
+// Policy returns the manager's replacement policy.
+func (m *Manager) Policy() Policy { return m.cfg.Policy }
+
+// Config returns the effective configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// memCost charges L1 access time for an n-byte transfer.
+func (m *Manager) memCost(n int) {
+	m.clock.Advance(m.cfg.MemAccessLatency + time.Duration(float64(n)*m.nsPerByteMem))
+}
+
+// pu returns the utilization rate for term t. Measured samples (the online
+// form of the paper's query-log analysis) take precedence; the configured
+// model acts as the prior for terms never yet executed; 1 (cache the whole
+// used prefix) is the fallback.
+func (m *Manager) pu(t workload.TermID) float64 {
+	if v, ok := m.puMeasured[t]; ok {
+		return v
+	}
+	if m.cfg.PU != nil {
+		return m.cfg.PU(t)
+	}
+	return 1
+}
+
+// RecordUtilization feeds a measured per-term utilization sample (from
+// engine.ExecStats) into the running PU estimate. The paper obtains PU "by
+// analyzing the query log"; feeding execution stats is the online variant.
+func (m *Manager) RecordUtilization(t workload.TermID, utilization float64) {
+	if utilization <= 0 {
+		return
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	if old, ok := m.puMeasured[t]; ok {
+		m.puMeasured[t] = 0.8*old + 0.2*utilization
+	} else {
+		m.puMeasured[t] = utilization
+	}
+}
+
+// scBlocks implements Formula 1: the number of whole SSD blocks to cache
+// for a list whose used size in memory is si bytes.
+func (m *Manager) scBlocks(si int64, pu float64) int64 {
+	if si <= 0 {
+		return 0
+	}
+	sc := (int64(float64(si)*pu) + m.cfg.BlockBytes - 1) / m.cfg.BlockBytes
+	if sc < 1 {
+		sc = 1
+	}
+	return sc
+}
+
+// ev implements Formula 2: the efficiency value of a list with the given
+// access frequency and cached size in blocks.
+func ev(freq, scBlocks int64) float64 {
+	if scBlocks <= 0 {
+		return 0
+	}
+	return float64(freq) / float64(scBlocks)
+}
+
+// ssdRead performs a foreground SSD read: the caller waits for any queued
+// background work, then for the read itself. The wait plus service time is
+// charged on the shared clock.
+func (m *Manager) ssdRead(p []byte, off int64) error {
+	lat, err := m.ssd.ReadAt(p, off)
+	if err != nil {
+		return err
+	}
+	start := m.clock.Now()
+	if m.ssdBusyUntil > start {
+		start = m.ssdBusyUntil
+	}
+	finish := start + lat
+	m.clock.AdvanceTo(finish)
+	m.ssdBusyUntil = finish
+	return nil
+}
+
+// ssdWrite performs a background SSD write: it costs no foreground time
+// but extends the device's busy horizon by its service time (including any
+// garbage collection it triggered).
+func (m *Manager) ssdWrite(p []byte, off int64) error {
+	lat, err := m.ssd.WriteAt(p, off)
+	if err != nil {
+		return err
+	}
+	m.pushBusy(lat)
+	return nil
+}
+
+// ssdTrim issues a background trim when the device supports it.
+func (m *Manager) ssdTrim(off, n int64) {
+	t, ok := m.ssd.(storage.Trimmer)
+	if !ok {
+		return
+	}
+	lat, err := t.Trim(off, n)
+	if err == nil {
+		m.pushBusy(lat)
+	}
+}
+
+func (m *Manager) pushBusy(lat time.Duration) {
+	start := m.clock.Now()
+	if m.ssdBusyUntil > start {
+		start = m.ssdBusyUntil
+	}
+	m.ssdBusyUntil = start + lat
+}
+
+// resultExpired reports whether a result entry loaded at the given
+// simulated time has outlived Config.ResultTTL (dynamic scenario, §IV-B).
+func (m *Manager) resultExpired(loadedAt time.Duration) bool {
+	return m.cfg.ResultTTL > 0 && m.clock.Now()-loadedAt > m.cfg.ResultTTL
+}
+
+// listExpired is the inverted-list counterpart of resultExpired.
+func (m *Manager) listExpired(loadedAt time.Duration) bool {
+	return m.cfg.ListTTL > 0 && m.clock.Now()-loadedAt > m.cfg.ListTTL
+}
+
+// NumDocs implements engine.ListSource.
+func (m *Manager) NumDocs() int64 { return m.ix.NumDocs() }
+
+// ListBytes implements engine.ListSource.
+func (m *Manager) ListBytes(t workload.TermID) int64 { return m.ix.ListBytes(t) }

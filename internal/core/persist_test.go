@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridstore/internal/workload"
+)
+
+// populate pushes results and lists through the manager so both SSD
+// regions hold data.
+func populate(t *testing.T, f *fixture) {
+	t.Helper()
+	size := f.m.Config().ResultEntryBytes
+	for q := uint64(1); q <= 25; q++ {
+		f.m.PutResult(q, entryOf(q, byte(q), size))
+	}
+	f.m.FlushWriteBuffer()
+	for i := 0; i < 25; i++ {
+		f.readSome(t, workload.TermID(30+i), 12<<10)
+	}
+}
+
+// restoreFixture builds a second manager over the SAME devices via
+// Restore.
+func (f *fixture) restore(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	m2, err := Restore(f.clock, f.ix, f.ssd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m2
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	cfg.MemListBytes = 64 << 10 // force list flushes to SSD
+	f := newFixture(t, cfg)
+	populate(t, f)
+	if err := f.m.SaveMappings(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := f.restore(t, cfg)
+
+	// Every result the old manager had on SSD must be servable by the new
+	// one, with identical bytes — without touching L1 (which is empty).
+	restored := 0
+	for q := uint64(1); q <= 25; q++ {
+		if _, ok := f.m.resultLoc[q]; !ok {
+			continue
+		}
+		data, src := m2.GetResult(q)
+		if src != ResultFromSSD {
+			t.Fatalf("query %d: src=%v after restore", q, src)
+		}
+		if data[0] != byte(q) {
+			t.Fatalf("query %d: wrong content after restore", q)
+		}
+		restored++
+	}
+	if restored == 0 {
+		t.Fatal("no results were on SSD; fixture too small")
+	}
+
+	// SSD-cached lists serve without HDD bytes.
+	served := 0
+	for i := 0; i < 25; i++ {
+		term := workload.TermID(30 + i)
+		sl := m2.ssdListFor(term)
+		if sl == nil {
+			continue
+		}
+		buf := make([]byte, sl.validBytes)
+		hddBefore := m2.Stats().ListBytesFromHDD
+		if err := m2.ReadListRange(term, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if m2.Stats().ListBytesFromHDD != hddBefore {
+			t.Fatalf("term %d read HDD after restore", term)
+		}
+		want := make([]byte, sl.validBytes)
+		f.ix.ReadListRange(term, 0, want)
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("term %d bytes wrong after restore", term)
+		}
+		served++
+	}
+	if served == 0 {
+		t.Fatal("no lists restored")
+	}
+}
+
+func TestRestorePreservesTermFrequencies(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	f := newFixture(t, cfg)
+	f.readSome(t, 7, 4<<10)
+	f.readSome(t, 7, 4<<10)
+	f.readSome(t, 9, 4<<10)
+	if err := f.m.SaveMappings(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := f.restore(t, cfg)
+	if m2.TermFrequency(7) != 2 || m2.TermFrequency(9) != 1 {
+		t.Fatalf("frequencies lost: %d/%d", m2.TermFrequency(7), m2.TermFrequency(9))
+	}
+}
+
+func TestRestorePreservesStaticPins(t *testing.T) {
+	cfg := testConfig(PolicyCBSLRU)
+	f := newFixture(t, cfg)
+	size := f.m.Config().ResultEntryBytes
+	if !f.m.PinResult(500, entryOf(500, 0x77, size)) || !f.m.PinList(5) {
+		t.Fatal("pinning failed")
+	}
+	if err := f.m.SaveMappings(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := f.restore(t, cfg)
+	if _, src := m2.GetResult(500); src != ResultFromSSD {
+		t.Fatal("pinned result lost")
+	}
+	if len(m2.StaticPinnedLists()) != 1 {
+		t.Fatal("pinned list lost")
+	}
+	if sl := m2.ssdListFor(5); sl == nil || !sl.static {
+		t.Fatal("restored pin not static")
+	}
+}
+
+func TestRestoreRejectsPolicyMismatch(t *testing.T) {
+	cfgA := testConfig(PolicyCBLRU)
+	f := newFixture(t, cfgA)
+	populate(t, f)
+	if err := f.m.SaveMappings(); err != nil {
+		t.Fatal(err)
+	}
+	cfgB := testConfig(PolicyLRU)
+	if _, err := Restore(f.clock, f.ix, f.ssd, cfgB); err == nil {
+		t.Fatal("policy mismatch accepted")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	f := newFixture(t, cfg)
+	// No SaveMappings ever ran: the metadata region is zeros.
+	if _, err := Restore(f.clock, f.ix, f.ssd, cfg); err == nil {
+		t.Fatal("restore from a blank device succeeded")
+	}
+}
+
+func TestSaveWithoutSSDFails(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	cfg.SSDResultBytes, cfg.SSDListBytes = 0, 0
+	f := newFixture(t, cfg)
+	if err := f.m.SaveMappings(); err == nil {
+		t.Fatal("SaveMappings without SSD succeeded")
+	}
+}
+
+func TestRestoredRecencySurvives(t *testing.T) {
+	// Entries restored in LRU order must evict in the same order as the
+	// original would: the oldest dynamic list entry goes first.
+	cfg := testConfig(PolicyCBLRU)
+	cfg.MemListBytes = 64 << 10
+	f := newFixture(t, cfg)
+	populate(t, f)
+	if err := f.m.SaveMappings(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := f.restore(t, cfg)
+	origLRU := f.m.icLRU.LRUEntry()
+	newLRU := m2.icLRU.LRUEntry()
+	if origLRU == nil || newLRU == nil {
+		t.Skip("no dynamic list entries to compare")
+	}
+	if origLRU.Key != newLRU.Key {
+		t.Fatalf("LRU order lost: %d vs %d", origLRU.Key, newLRU.Key)
+	}
+}

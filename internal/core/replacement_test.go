@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hybridstore/internal/workload"
+)
+
+// fillSSDResultCache pushes enough distinct results through L1 that the
+// SSD result region fills completely, returning the set of stored IDs.
+func fillSSDResultCache(t *testing.T, f *fixture, from, to uint64) {
+	t.Helper()
+	size := f.m.Config().ResultEntryBytes
+	for q := from; q <= to; q++ {
+		if err := f.m.PutResult(q, entryOf(q, byte(q%250+1), size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.m.FlushWriteBuffer()
+}
+
+func TestVictimRBPrefersHighIREN(t *testing.T) {
+	f := newFixture(t, testConfig(PolicyCBLRU))
+	// SSD RC = 1 MiB = 8 RBs of 6 entries. Fill it completely: 5 in L1 +
+	// 48 on SSD + buffer remainder needs ~60 entries.
+	fillSSDResultCache(t, f, 1, 60)
+	// Read back a few entries from ONE RB to raise its IREN (replaceable).
+	var markedRB *resultBlock
+	marked := 0
+	for q := uint64(1); q <= 60 && marked < 3; q++ {
+		loc, ok := f.m.resultLoc[q]
+		if !ok {
+			continue
+		}
+		if markedRB == nil {
+			markedRB = loc.rb
+		}
+		if loc.rb != markedRB {
+			continue
+		}
+		if _, src := f.m.GetResult(q); src == ResultFromSSD {
+			marked++
+		}
+	}
+	if marked < 2 {
+		t.Skipf("could not mark enough entries replaceable (marked=%d)", marked)
+	}
+	// The marked RB must now be the preferred victim within the window if
+	// it is there; force replacements and verify it eventually gets
+	// retired while fully-valid MRU blocks survive.
+	retiredBefore := f.m.Stats().RBRetired
+	fillSSDResultCache(t, f, 100, 130)
+	if f.m.Stats().RBRetired == retiredBefore {
+		t.Fatal("no RB retired under pressure")
+	}
+	if loc, ok := f.m.resultLoc[1]; ok && loc.rb == markedRB {
+		// Entry 1's block survived only if it wasn't the marked block.
+		found := false
+		for _, slot := range markedRB.slots {
+			if slot != nil && slot.state == stateReplaceable {
+				found = true
+			}
+		}
+		if found {
+			t.Log("marked RB still resident; IREN choice is window-scoped (acceptable)")
+		}
+	}
+}
+
+func TestIRENCounting(t *testing.T) {
+	rb := &resultBlock{slots: make([]*ssdResult, 6)}
+	if rb.iren() != 6 {
+		t.Fatalf("empty RB iren = %d, want 6", rb.iren())
+	}
+	for i := 0; i < 6; i++ {
+		rb.slots[i] = &ssdResult{slot: i}
+	}
+	if rb.iren() != 0 || rb.validCount() != 6 {
+		t.Fatalf("full RB iren=%d valid=%d", rb.iren(), rb.validCount())
+	}
+	rb.slots[0].state = stateReplaceable
+	rb.slots[3] = nil
+	if rb.iren() != 2 || rb.validCount() != 4 {
+		t.Fatalf("iren=%d valid=%d, want 2/4", rb.iren(), rb.validCount())
+	}
+}
+
+func TestSSDListSameSizeOverwrite(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	cfg.MemListBytes = 64 << 10
+	cfg.SSDListBytes = 4 * cfg.BlockBytes // room for only 4 one-block entries
+	f := newFixture(t, cfg)
+	// Stream enough single-block lists through that the region overflows
+	// and the same-size in-place overwrite path triggers.
+	for i := 0; i < 40; i++ {
+		f.readSome(t, workload.TermID(30+i), 12<<10)
+	}
+	s := f.m.Stats()
+	if s.ListWritesToSSD == 0 {
+		t.Fatal("no list writes")
+	}
+	if s.ListOverwritesInPlace == 0 {
+		t.Fatal("same-size in-place overwrite never used despite full region")
+	}
+	// Integrity spot check after heavy replacement churn.
+	n := f.readSome(t, 35, 12<<10)
+	got := make([]byte, n)
+	f.m.ReadListRange(35, 0, got)
+	if !bytes.Equal(got, f.wantList(t, 35, 0, n)) {
+		t.Fatal("list corrupted after in-place overwrites")
+	}
+}
+
+func TestLRUBaselineListEvictionLoop(t *testing.T) {
+	cfg := testConfig(PolicyLRU)
+	cfg.MemListBytes = 64 << 10
+	cfg.SSDListBytes = 128 << 10 // tiny region: constant eviction
+	f := newFixture(t, cfg)
+	for i := 0; i < 40; i++ {
+		f.readSome(t, workload.TermID(30+i), 12<<10)
+	}
+	s := f.m.Stats()
+	if s.L2ListEvictions == 0 {
+		t.Fatal("baseline never evicted from the SSD list region")
+	}
+	if s.ListWritesToSSD == 0 {
+		t.Fatal("baseline never wrote lists")
+	}
+}
+
+func TestEndQueryWithoutBeginIsNoop(t *testing.T) {
+	f := newFixture(t, testConfig(PolicyCBLRU))
+	f.m.EndQuery(time.Second)
+	if f.m.Stats().Queries != 0 {
+		t.Fatal("EndQuery without BeginQuery counted a query")
+	}
+}
+
+func TestStaticResultNotMarkedReplaceable(t *testing.T) {
+	f := newFixture(t, testConfig(PolicyCBSLRU))
+	size := f.m.Config().ResultEntryBytes
+	if !f.m.PinResult(7, entryOf(7, 9, size)) {
+		t.Fatal("pin failed")
+	}
+	f.m.GetResult(7)
+	loc := f.m.resultLoc[7]
+	if loc.state == stateReplaceable {
+		t.Fatal("static result flipped replaceable on read")
+	}
+	if !loc.rb.static {
+		t.Fatal("pinned result not in a static RB")
+	}
+}
+
+func TestPrefetchRoundsPrefix(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	cfg.PrefetchQuantum = 32 << 10
+	f := newFixture(t, cfg)
+	term := workload.TermID(2) // large list
+	f.readSome(t, term, 10<<10)
+	e, ok := f.m.ic.Peek(uint64(term))
+	if !ok {
+		t.Fatal("list not cached")
+	}
+	if got := int64(len(e.Value.(*memList).prefix)); got != 32<<10 {
+		t.Fatalf("prefix = %d, want 32 KiB (rounded up)", got)
+	}
+	if f.m.Stats().ListBytesPrefetched == 0 {
+		t.Fatal("prefetch not counted")
+	}
+}
+
+func TestPrefetchDisabled(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	cfg.PrefetchQuantum = -1
+	f := newFixture(t, cfg)
+	term := workload.TermID(2)
+	f.readSome(t, term, 10<<10)
+	e, ok := f.m.ic.Peek(uint64(term))
+	if !ok {
+		t.Fatal("list not cached")
+	}
+	if got := int64(len(e.Value.(*memList).prefix)); got != 10<<10 {
+		t.Fatalf("prefix = %d, want exactly 10 KiB with prefetch off", got)
+	}
+	if f.m.Stats().ListBytesPrefetched != 0 {
+		t.Fatal("prefetch counted while disabled")
+	}
+}
+
+func TestOversizedListNotCached(t *testing.T) {
+	cfg := testConfig(PolicyCBLRU)
+	cfg.MemListBytes = 64 << 10 // cap = 32 KiB per entry
+	f := newFixture(t, cfg)
+	term := workload.TermID(0) // 1.6 MB list
+	f.readSome(t, term, 48<<10)
+	if _, ok := f.m.ic.Peek(uint64(term)); ok {
+		t.Fatal("oversized read cached despite cap")
+	}
+	if f.m.Stats().ListsTooLargeForL1 == 0 {
+		t.Fatal("too-large counter not bumped")
+	}
+}
+
+func TestTermFrequencyPerQueryNotPerChunk(t *testing.T) {
+	f := newFixture(t, testConfig(PolicyCBLRU))
+	f.m.BeginQuery(1)
+	buf := make([]byte, 4<<10)
+	f.m.ReadListRange(5, 0, buf)
+	f.m.ReadListRange(5, 4<<10, buf) // second chunk, same query
+	f.m.EndQuery(time.Millisecond)
+	if got := f.m.TermFrequency(5); got != 1 {
+		t.Fatalf("freq = %d after one query with two chunks, want 1", got)
+	}
+	f.m.BeginQuery(2)
+	f.m.ReadListRange(5, 0, buf)
+	f.m.EndQuery(time.Millisecond)
+	if got := f.m.TermFrequency(5); got != 2 {
+		t.Fatalf("freq = %d after two queries, want 2", got)
+	}
+}
+
+func TestQueryFrequencyTracked(t *testing.T) {
+	f := newFixture(t, testConfig(PolicyCBLRU))
+	f.m.GetResult(42)
+	f.m.GetResult(42)
+	if got := f.m.QueryFrequency(42); got != 2 {
+		t.Fatalf("query freq = %d", got)
+	}
+}
+
+func TestLRUWholeListCachingReadsThrough(t *testing.T) {
+	// Under the baseline, a partial read triggers a whole-list fetch; the
+	// cached copy must be byte-identical to the index.
+	f := newFixture(t, testConfig(PolicyLRU))
+	term := workload.TermID(40)
+	total := f.ix.ListBytes(term)
+	f.readSome(t, term, 4<<10) // partial read; baseline caches everything
+	e, ok := f.m.ic.Peek(uint64(term))
+	if !ok {
+		t.Skip("list exceeded the baseline cap; pick a smaller term")
+	}
+	got := e.Value.(*memList).prefix
+	if int64(len(got)) != total {
+		t.Fatalf("baseline cached %d bytes, want whole list %d", len(got), total)
+	}
+	if !bytes.Equal(got, f.wantList(t, term, 0, total)) {
+		t.Fatal("whole-list fetch corrupted data")
+	}
+}
+
+func TestSSDBusyHorizonDelaysForegroundReads(t *testing.T) {
+	f := newFixture(t, testConfig(PolicyCBLRU))
+	size := f.m.Config().ResultEntryBytes
+	// Generate a flush burst (background writes)...
+	for q := uint64(1); q <= 11; q++ {
+		f.m.PutResult(q, entryOf(q, byte(q), size))
+	}
+	if f.m.Stats().RBFlushes == 0 {
+		t.Skip("no flush burst")
+	}
+	// ...then a foreground SSD read immediately after must wait for the
+	// backlog: elapsed >> raw device time for one entry.
+	before := f.clock.Now()
+	_, src := f.m.GetResult(1)
+	if src != ResultFromSSD {
+		t.Skipf("entry 1 not on SSD (src=%v)", src)
+	}
+	elapsed := f.clock.Now() - before
+	if elapsed <= 0 {
+		t.Fatal("foreground SSD read cost nothing")
+	}
+}

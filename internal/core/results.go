@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+)
+
+// ResultSource says where a result-cache hit was served from.
+type ResultSource int
+
+// Result lookup outcomes.
+const (
+	ResultMiss ResultSource = iota
+	ResultFromMemory
+	ResultFromSSD
+)
+
+// GetResult looks a query's cached result entry up: L1, then the write
+// buffer (still memory), then the L2 result cache on SSD. A hit is copied
+// to the caller and — per the hybrid scheme — an SSD hit is promoted to L1
+// while the SSD copy goes replaceable (Fig 9).
+func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
+	m.queryFreq[qid]++
+
+	if e, ok := m.rc.Get(qid); ok {
+		mr := e.Value.(*memResult)
+		if m.resultExpired(mr.loadedAt) {
+			m.rc.RemoveEntry(e)
+			m.stats.ResultsExpired++
+		} else {
+			m.memCost(len(mr.data))
+			m.noteResultSource(srcMem)
+			m.stats.ResultHitsMem++
+			return mr.data, ResultFromMemory
+		}
+	}
+	for _, b := range m.writeBuf {
+		if b.qid == qid && !m.resultExpired(b.loadedAt) {
+			m.memCost(len(b.data))
+			m.noteResultSource(srcMem)
+			m.stats.ResultHitsMem++
+			return b.data, ResultFromMemory
+		}
+	}
+	if loc, ok := m.resultLoc[qid]; ok {
+		if !loc.rb.static && m.resultExpired(loc.loadedAt) {
+			loc.rb.slots[loc.slot] = nil
+			delete(m.resultLoc, qid)
+			m.stats.ResultsExpired++
+			m.stats.ResultMisses++
+			return nil, ResultMiss
+		}
+		data := make([]byte, m.cfg.ResultEntryBytes)
+		off := loc.rb.off + int64(loc.slot)*m.cfg.ResultEntryBytes
+		if err := m.ssdRead(data, off); err == nil {
+			m.noteResultSource(srcSSD)
+			m.stats.ResultHitsSSD++
+			if !loc.rb.static && m.cfg.Policy != PolicyLRU {
+				loc.state = stateReplaceable
+			}
+			if m.rbLRU != nil && !loc.rb.static {
+				if e, ok := m.rbLRU.Peek(loc.rb.num); ok {
+					m.rbLRU.Touch(e)
+				}
+			}
+			m.putResultL1(qid, data)
+			return data, ResultFromSSD
+		}
+	}
+	m.stats.ResultMisses++
+	return nil, ResultMiss
+}
+
+// PutResult caches a freshly computed result entry in L1. The entry must
+// be exactly ResultEntryBytes long (the paper's fixed-length entries);
+// shorter payloads are padded by the caller via PadResult.
+//
+// Result entries are immutable per query ID: the paper's evaluation is the
+// static scenario (§IV-B), where recomputing a query always yields the same
+// entry. Re-putting an ID refreshes recency, not content.
+func (m *Manager) PutResult(qid uint64, data []byte) error {
+	if int64(len(data)) != m.cfg.ResultEntryBytes {
+		return fmt.Errorf("core: result entry %d bytes, want %d", len(data), m.cfg.ResultEntryBytes)
+	}
+	m.putResultL1(qid, data)
+	return nil
+}
+
+// PadResult pads an encoded result to the fixed entry size.
+func (m *Manager) PadResult(data []byte) []byte {
+	if int64(len(data)) >= m.cfg.ResultEntryBytes {
+		return data[:m.cfg.ResultEntryBytes]
+	}
+	out := make([]byte, m.cfg.ResultEntryBytes)
+	copy(out, data)
+	return out
+}
+
+// putResultL1 inserts into the L1 result cache, evicting LRU entries into
+// the SSD path as needed (§VI-C1: L1 RC victims are chosen by LRU under
+// every policy; the policies differ below L1).
+func (m *Manager) putResultL1(qid uint64, data []byte) {
+	if e, ok := m.rc.Peek(qid); ok {
+		if !m.resultExpired(e.Value.(*memResult).loadedAt) {
+			m.rc.Touch(e)
+			return
+		}
+		m.rc.RemoveEntry(e) // refresh expired content below
+		m.stats.ResultsExpired++
+	}
+	size := int64(len(data))
+	for !m.rc.Fits(size) {
+		victim := m.rc.LRUEntry()
+		if victim == nil {
+			return
+		}
+		m.rc.RemoveEntry(victim)
+		m.stats.L1ResultEvictions++
+		mr := victim.Value.(*memResult)
+		m.evictResultToSSD(victim.Key, mr)
+	}
+	m.rc.Put(qid, size, &memResult{data: data, loadedAt: m.clock.Now()})
+	m.memCost(int(size))
+}
+
+// evictResultToSSD routes an L1 result eviction to the L2 result cache.
+// Expired entries are dropped instead of flushed: stale data is not worth
+// SSD writes.
+func (m *Manager) evictResultToSSD(qid uint64, mr *memResult) {
+	if m.resultExpired(mr.loadedAt) {
+		m.stats.ResultsExpired++
+		return
+	}
+	if m.rbLRU == nil {
+		m.stats.ResultsDropped++
+		return
+	}
+	if m.cfg.Policy == PolicyLRU {
+		m.evictResultLRU(qid, mr.data)
+		return
+	}
+
+	// Write-buffer check (Fig 10): if the SSD already holds a valid copy
+	// (left replaceable by an earlier read-back), revalidate it and skip
+	// the write entirely.
+	if loc, ok := m.resultLoc[qid]; ok {
+		loc.state = stateNormal
+		m.stats.ResultWritesElided++
+		return
+	}
+	m.writeBuf = append(m.writeBuf, bufferedResult{qid: qid, data: mr.data, loadedAt: mr.loadedAt})
+	m.memCost(len(mr.data))
+	if len(m.writeBuf) >= m.entriesPerRB {
+		m.flushResultBlock()
+	}
+}
+
+// flushResultBlock assembles entriesPerRB buffered entries into one result
+// block and writes it to the SSD as a single block-aligned sequential
+// write (Fig 10b), choosing the victim RB by IREN within the replace-first
+// region when no free block exists (Fig 11).
+func (m *Manager) flushResultBlock() {
+	n := m.entriesPerRB
+	if len(m.writeBuf) < n {
+		return
+	}
+	batch := m.writeBuf[:n]
+	m.writeBuf = append([]bufferedResult(nil), m.writeBuf[n:]...)
+
+	off, ok := m.rcAlloc.AllocAligned(m.cfg.BlockBytes, m.cfg.BlockBytes)
+	if !ok {
+		rb := m.chooseVictimRB()
+		if rb == nil {
+			m.stats.ResultsDropped += int64(n)
+			return
+		}
+		m.retireRB(rb)
+		off, ok = m.rcAlloc.AllocAligned(m.cfg.BlockBytes, m.cfg.BlockBytes)
+		if !ok {
+			m.stats.ResultsDropped += int64(n)
+			return
+		}
+	}
+
+	rb := &resultBlock{num: m.nextRB, off: off, slots: make([]*ssdResult, n)}
+	m.nextRB++
+	buf := make([]byte, m.cfg.BlockBytes)
+	for i, b := range batch {
+		copy(buf[int64(i)*m.cfg.ResultEntryBytes:], b.data)
+		loc := &ssdResult{qid: b.qid, rb: rb, slot: i, loadedAt: b.loadedAt}
+		rb.slots[i] = loc
+		m.resultLoc[b.qid] = loc
+	}
+	if err := m.ssdWrite(buf, off); err != nil {
+		m.rcAlloc.Free(off, m.cfg.BlockBytes)
+		for _, b := range batch {
+			delete(m.resultLoc, b.qid)
+		}
+		return
+	}
+	m.stats.ResultBytesToSSD += m.cfg.BlockBytes
+	m.stats.RBFlushes++
+	m.rbLRU.Put(rb.num, m.cfg.BlockBytes, rb)
+}
+
+// chooseVictimRB returns the RB with the largest IREN inside the
+// replace-first region (Fig 11), or the plain LRU block if the region is
+// empty. Returns nil when no dynamic RB exists.
+func (m *Manager) chooseVictimRB() *resultBlock {
+	window := m.rbLRU.TailWindow(m.cfg.WindowW)
+	if len(window) == 0 {
+		return nil
+	}
+	best := window[0].Value.(*resultBlock)
+	bestIREN := best.iren()
+	for _, e := range window[1:] {
+		rb := e.Value.(*resultBlock)
+		if ir := rb.iren(); ir > bestIREN {
+			best, bestIREN = rb, ir
+		}
+	}
+	return best
+}
+
+// retireRB invalidates an RB's remaining entries and frees its extent.
+func (m *Manager) retireRB(rb *resultBlock) {
+	for _, loc := range rb.slots {
+		if loc != nil {
+			delete(m.resultLoc, loc.qid)
+		}
+	}
+	if e, ok := m.rbLRU.Peek(rb.num); ok {
+		m.rbLRU.RemoveEntry(e)
+	}
+	m.rcAlloc.Free(rb.off, m.cfg.BlockBytes)
+	m.ssdTrim(rb.off, m.cfg.BlockBytes)
+	m.stats.RBRetired++
+}
+
+// evictResultLRU is the baseline path: the 20 KB entry is written
+// immediately at whatever unaligned offset the allocator yields — the
+// small-random-write storm of §VI-C1 — evicting strictly by recency.
+func (m *Manager) evictResultLRU(qid uint64, data []byte) {
+	size := int64(len(data))
+	if old, ok := m.resultLoc[qid]; ok {
+		m.freeLRUResult(old)
+	}
+	var off int64
+	for {
+		var ok bool
+		if off, ok = m.rcAlloc.Alloc(size); ok {
+			break
+		}
+		e := m.rbLRU.LRUEntry()
+		if e == nil {
+			m.stats.ResultsDropped++
+			return
+		}
+		m.freeLRUResult(e.Value.(*resultBlock).slots[0])
+	}
+	// Baseline entries are modelled as single-slot pseudo-RBs so the same
+	// bookkeeping serves both layouts.
+	rb := &resultBlock{num: m.nextRB, off: off, slots: make([]*ssdResult, 1)}
+	m.nextRB++
+	loc := &ssdResult{qid: qid, rb: rb, slot: 0, loadedAt: m.clock.Now()}
+	rb.slots[0] = loc
+	if err := m.ssdWrite(data, off); err != nil {
+		m.rcAlloc.Free(off, size)
+		return
+	}
+	m.stats.ResultBytesToSSD += size
+	m.resultLoc[qid] = loc
+	m.rbLRU.Put(rb.num, size, rb)
+}
+
+// freeLRUResult releases a baseline pseudo-RB.
+func (m *Manager) freeLRUResult(loc *ssdResult) {
+	delete(m.resultLoc, loc.qid)
+	if e, ok := m.rbLRU.Peek(loc.rb.num); ok {
+		m.rbLRU.RemoveEntry(e)
+	}
+	m.rcAlloc.Free(loc.rb.off, m.cfg.ResultEntryBytes)
+	m.stats.L2ResultEvictions++
+}
+
+// PinResult stores an encoded result entry in the static partition of the
+// L2 result cache (CBSLRU). Entries are packed into static RBs that are
+// never replaced. Returns false when the static budget is exhausted.
+func (m *Manager) PinResult(qid uint64, data []byte) bool {
+	if m.cfg.Policy != PolicyCBSLRU || m.rbLRU == nil {
+		return false
+	}
+	if _, ok := m.resultLoc[qid]; ok {
+		return true
+	}
+	data = m.PadResult(data)
+
+	// Find (or open) a static RB with a free slot.
+	var rb *resultBlock
+	for _, cand := range m.staticRBs {
+		for _, s := range cand.slots {
+			if s == nil {
+				rb = cand
+				break
+			}
+		}
+		if rb != nil {
+			break
+		}
+	}
+	if rb == nil {
+		if int64(len(m.staticRBs)+1)*m.cfg.BlockBytes > m.StaticResultBudget() {
+			return false
+		}
+		off, ok := m.rcAlloc.AllocAligned(m.cfg.BlockBytes, m.cfg.BlockBytes)
+		if !ok {
+			return false
+		}
+		rb = &resultBlock{num: m.nextRB, off: off, slots: make([]*ssdResult, m.entriesPerRB), static: true}
+		m.nextRB++
+		m.staticRBs = append(m.staticRBs, rb)
+	}
+	for i, s := range rb.slots {
+		if s != nil {
+			continue
+		}
+		loc := &ssdResult{qid: qid, rb: rb, slot: i}
+		off := rb.off + int64(i)*m.cfg.ResultEntryBytes
+		if err := m.ssdWrite(data, off); err != nil {
+			return false
+		}
+		m.stats.ResultBytesToSSD += int64(len(data))
+		rb.slots[i] = loc
+		m.resultLoc[qid] = loc
+		return true
+	}
+	return false
+}
+
+// StaticResultBudget returns the byte budget of the static result
+// partition.
+func (m *Manager) StaticResultBudget() int64 {
+	if m.cfg.Policy != PolicyCBSLRU || m.rbLRU == nil {
+		return 0
+	}
+	return int64(float64(m.cfg.SSDResultBytes) * m.cfg.StaticFraction)
+}
+
+// WriteBufferLen returns the number of result entries awaiting RB assembly.
+func (m *Manager) WriteBufferLen() int { return len(m.writeBuf) }
+
+// FlushWriteBuffer forces assembly of any full RBs and reports how many
+// entries remain buffered (used at experiment end).
+func (m *Manager) FlushWriteBuffer() int {
+	for len(m.writeBuf) >= m.entriesPerRB {
+		m.flushResultBlock()
+	}
+	return len(m.writeBuf)
+}

@@ -1,0 +1,164 @@
+package disksim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/storage"
+)
+
+func newTestHDD(t *testing.T) (*HDD, *simclock.Clock) {
+	t.Helper()
+	clk := simclock.New()
+	return New("hdd", clk, DefaultParams(1<<30)), clk
+}
+
+func TestHDDReadBackWrite(t *testing.T) {
+	d, _ := newTestHDD(t)
+	data := []byte("index bytes")
+	if _, err := d.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q, want %q", got, data)
+	}
+}
+
+func TestHDDRandomSlowerThanSequential(t *testing.T) {
+	d, _ := newTestHDD(t)
+	// Prime head position.
+	d.ReadAt(make([]byte, 4096), 0)
+	seq, _ := d.ReadAt(make([]byte, 4096), 4096) // continues the run
+	rnd, _ := d.ReadAt(make([]byte, 4096), 512<<20)
+	if seq >= rnd {
+		t.Fatalf("sequential read (%v) not faster than random (%v)", seq, rnd)
+	}
+	// Sequential read should be close to pure transfer + overhead (well
+	// under a half rotation of 4.17 ms).
+	if seq > 2*time.Millisecond {
+		t.Fatalf("sequential read suspiciously slow: %v", seq)
+	}
+}
+
+func TestHDDSeekGrowsWithDistance(t *testing.T) {
+	d, _ := newTestHDD(t)
+	d.ReadAt(make([]byte, 512), 0)
+	near, _ := d.ReadAt(make([]byte, 512), 1<<20)
+	d.ReadAt(make([]byte, 512), 0)
+	far, _ := d.ReadAt(make([]byte, 512), 900<<20)
+	if near >= far {
+		t.Fatalf("near seek (%v) not cheaper than far seek (%v)", near, far)
+	}
+}
+
+func TestHDDSequentialHitTracking(t *testing.T) {
+	d, _ := newTestHDD(t)
+	d.WriteAt(make([]byte, 1024), 0)
+	d.WriteAt(make([]byte, 1024), 1024) // sequential
+	d.WriteAt(make([]byte, 1024), 1<<20)
+	if got := d.SequentialHits(); got != 1 {
+		t.Fatalf("SequentialHits = %d, want 1", got)
+	}
+}
+
+func TestHDDClockAdvances(t *testing.T) {
+	d, clk := newTestHDD(t)
+	lat, _ := d.ReadAt(make([]byte, 4096), 12345)
+	if clk.Now() != lat {
+		t.Fatalf("clock %v != latency %v", clk.Now(), lat)
+	}
+}
+
+func TestHDDOutOfRange(t *testing.T) {
+	d, _ := newTestHDD(t)
+	if _, err := d.ReadAt(make([]byte, 10), d.Size()); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.WriteAt(make([]byte, 10), -1); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHDDStats(t *testing.T) {
+	d, _ := newTestHDD(t)
+	d.WriteAt(make([]byte, 100), 0)
+	d.ReadAt(make([]byte, 50), 0)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.BytesRead != 50 || s.BytesWrit != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AvgAccessTime() <= 0 {
+		t.Fatal("avg access time not positive")
+	}
+}
+
+func TestHDDOpHook(t *testing.T) {
+	d, _ := newTestHDD(t)
+	var ops []storage.Op
+	d.SetOpHook(func(op storage.Op) { ops = append(ops, op) })
+	d.ReadAt(make([]byte, 10), 777)
+	if len(ops) != 1 || ops[0].Offset != 777 || ops[0].Kind != storage.OpRead {
+		t.Fatalf("hook saw %+v", ops)
+	}
+}
+
+func TestHDDTransferDominatesLargeSequential(t *testing.T) {
+	// A 90 MB/s drive should take roughly 1.1-1.2s to stream 100 MiB
+	// sequentially; verify the model is bandwidth-limited, not seek-limited.
+	clk := simclock.New()
+	d := New("hdd", clk, DefaultParams(1<<30))
+	const chunk = 1 << 20
+	var off int64
+	for i := 0; i < 100; i++ {
+		d.ReadAt(make([]byte, chunk), off)
+		off += chunk
+	}
+	elapsed := clk.Now()
+	if elapsed < time.Second || elapsed > 2*time.Second {
+		t.Fatalf("100 MiB sequential stream took %v, want ~1.2s", elapsed)
+	}
+}
+
+func TestHDDRandomIOPSRealistic(t *testing.T) {
+	// Random 4 KiB reads on a 7200 RPM drive run at roughly 70-120 IOPS.
+	clk := simclock.New()
+	d := New("hdd", clk, DefaultParams(200<<30))
+	rng := simclock.NewRNG(1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		off := int64(rng.Intn(1 << 30))
+		d.ReadAt(make([]byte, 4096), off)
+	}
+	iops := float64(n) / clk.Now().Seconds()
+	if iops < 50 || iops > 200 {
+		t.Fatalf("random-read IOPS = %.0f, want 50-200", iops)
+	}
+}
+
+func TestHDDDefaultsApplied(t *testing.T) {
+	clk := simclock.New()
+	d := New("hdd", clk, Params{Capacity: 1 << 20})
+	lat, err := d.ReadAt(make([]byte, 512), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatal("defaulted drive returned zero latency")
+	}
+}
+
+func TestHDDZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	New("hdd", simclock.New(), Params{})
+}

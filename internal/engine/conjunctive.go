@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridstore/internal/index"
+	"hybridstore/internal/intersect"
+	"hybridstore/internal/workload"
+)
+
+// Conjunctive query processing (AND semantics) over doc-sorted lists with
+// skip pointers — the access pattern behind the paper's "skipped reads"
+// observation (§III): the driver list is scanned, and the other lists are
+// probed by jumping between skip blocks, so large spans of postings are
+// never read. An optional intersection cache (the third cache level of
+// §VIII's future work) short-circuits the two smallest lists entirely.
+
+// DocSource supplies doc-sorted postings and skip tables. *index.Index
+// implements it.
+type DocSource interface {
+	NumDocs() int64
+	ListBytes(t workload.TermID) int64
+	DocMeta(t workload.TermID) (index.DocMeta, bool)
+	ReadSkipTable(t workload.TermID) ([]index.SkipEntry, error)
+	ReadDocBlock(t workload.TermID, byteOff uint32) ([]workload.Posting, error)
+}
+
+// ConjStats summarizes one conjunctive execution.
+type ConjStats struct {
+	// BlocksRead counts skip blocks actually fetched.
+	BlocksRead int64
+	// BlocksSkipped counts skip blocks jumped over without reading — the
+	// §III "skipped read" savings.
+	BlocksSkipped int64
+	// Matches is the size of the final conjunction.
+	Matches int64
+	// IntersectionHit is true when the pair cache served the two smallest
+	// lists.
+	IntersectionHit bool
+}
+
+// Conjunctive executes AND queries against a DocSource.
+type Conjunctive struct {
+	src    DocSource
+	cfg    Config
+	icache *intersect.Cache // optional third-level cache
+}
+
+// NewConjunctive builds a conjunctive engine. icache may be nil.
+func NewConjunctive(src DocSource, cfg Config, icache *intersect.Cache) *Conjunctive {
+	cfg.fillDefaults()
+	return &Conjunctive{src: src, cfg: cfg, icache: icache}
+}
+
+// Execute processes q with AND semantics and returns the top-K matches
+// ranked by summed tf·idf.
+func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
+	var stats ConjStats
+	if len(q.Terms) == 0 {
+		return &Result{QueryID: q.ID}, stats, nil
+	}
+
+	terms := make([]workload.TermID, len(q.Terms))
+	copy(terms, q.Terms)
+	sort.Slice(terms, func(i, j int) bool {
+		return e.src.ListBytes(terms[i]) < e.src.ListBytes(terms[j])
+	})
+
+	numDocs := e.src.NumDocs()
+	weights := make(map[workload.TermID]float64, len(terms))
+	for _, t := range terms {
+		weights[t] = idf(numDocs, e.src.ListBytes(t)/index.PostingSize)
+	}
+
+	// Candidates: (doc, partial score) from the smallest list — or from
+	// the cached/computed intersection of the two smallest lists.
+	type candidate struct {
+		doc   uint32
+		score float64
+	}
+	var candidates []candidate
+	rest := terms[1:]
+
+	if len(terms) >= 2 {
+		pair := intersect.MakePair(terms[0], terms[1])
+		ipostings, hit, err := e.pairIntersection(pair, terms[0], terms[1], &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.IntersectionHit = hit
+		wa, wb := weights[pair.A], weights[pair.B]
+		candidates = make([]candidate, len(ipostings))
+		for i, p := range ipostings {
+			candidates[i] = candidate{
+				doc:   p.Doc,
+				score: float64(p.TFA)*wa + float64(p.TFB)*wb,
+			}
+		}
+		rest = terms[2:]
+	} else {
+		postings, err := e.readWholeList(terms[0], &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		w := weights[terms[0]]
+		candidates = make([]candidate, len(postings))
+		for i, p := range postings {
+			candidates[i] = candidate{doc: p.Doc, score: float64(p.TF) * w}
+		}
+	}
+
+	// Filter the candidates through each remaining list with skip probes.
+	for _, t := range rest {
+		if len(candidates) == 0 {
+			break
+		}
+		probe, err := newSkipProbe(e.src, t, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		w := weights[t]
+		kept := candidates[:0]
+		for _, c := range candidates {
+			tf, ok, err := probe.find(c.doc)
+			if err != nil {
+				return nil, stats, err
+			}
+			if ok {
+				c.score += float64(tf) * w
+				kept = append(kept, c)
+			}
+		}
+		candidates = kept
+	}
+
+	stats.Matches = int64(len(candidates))
+	top := newTopK(e.cfg.TopK)
+	for _, c := range candidates {
+		top.offer(c.doc, c.score)
+	}
+	if e.cfg.Clock != nil {
+		e.cfg.Clock.Advance(time.Duration(len(candidates)) * e.cfg.PerPostingCost)
+	}
+	return &Result{QueryID: q.ID, Docs: top.ranked()}, stats, nil
+}
+
+// pairIntersection returns the (doc, tfA, tfB) intersection of two terms,
+// from the cache when present, computing and caching it otherwise.
+func (e *Conjunctive) pairIntersection(pair intersect.Pair, t0, t1 workload.TermID, stats *ConjStats) ([]intersect.Posting, bool, error) {
+	if e.icache != nil {
+		if ip, ok := e.icache.Get(pair); ok {
+			return ip, true, nil
+		}
+	}
+	a, err := e.readWholeList(pair.A, stats)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := e.readWholeList(pair.B, stats)
+	if err != nil {
+		return nil, false, err
+	}
+	ip := intersect.Intersect(a, b)
+	if e.icache != nil {
+		e.icache.Put(pair, ip)
+	}
+	return ip, false, nil
+}
+
+// readWholeList streams every doc block of term t in order.
+func (e *Conjunctive) readWholeList(t workload.TermID, stats *ConjStats) ([]workload.Posting, error) {
+	skips, err := e.src.ReadSkipTable(t)
+	if err != nil {
+		return nil, err
+	}
+	m, _ := e.src.DocMeta(t)
+	out := make([]workload.Posting, 0, m.DF)
+	for _, sk := range skips {
+		block, err := e.src.ReadDocBlock(t, sk.ByteOff)
+		if err != nil {
+			return nil, err
+		}
+		stats.BlocksRead++
+		out = append(out, block...)
+	}
+	return out, nil
+}
+
+// skipProbe supports ascending membership probes into one doc-sorted list
+// using its skip table; blocks between probe targets are skipped, not
+// read.
+type skipProbe struct {
+	src      DocSource
+	term     workload.TermID
+	skips    []index.SkipEntry
+	stats    *ConjStats
+	blockIdx int                // current skip block index, -1 none loaded
+	block    []workload.Posting // current block contents
+}
+
+func newSkipProbe(src DocSource, t workload.TermID, stats *ConjStats) (*skipProbe, error) {
+	skips, err := src.ReadSkipTable(t)
+	if err != nil {
+		return nil, err
+	}
+	if len(skips) == 0 {
+		return nil, fmt.Errorf("engine: term %d has an empty skip table", t)
+	}
+	return &skipProbe{src: src, term: t, skips: skips, stats: stats, blockIdx: -1}, nil
+}
+
+// find reports whether doc appears in the list, returning its tf. Probes
+// must come in ascending doc order (candidates are sorted), letting the
+// cursor only move forward.
+func (p *skipProbe) find(doc uint32) (uint16, bool, error) {
+	// Locate the skip block that could contain doc: the last block whose
+	// FirstDoc <= doc.
+	lo := sort.Search(len(p.skips), func(i int) bool { return p.skips[i].FirstDoc > doc }) - 1
+	if lo < 0 {
+		return 0, false, nil // doc precedes the whole list
+	}
+	if p.blockIdx != lo {
+		if p.blockIdx >= 0 && lo > p.blockIdx+1 {
+			p.stats.BlocksSkipped += int64(lo - p.blockIdx - 1)
+		}
+		block, err := p.src.ReadDocBlock(p.term, p.skips[lo].ByteOff)
+		if err != nil {
+			return 0, false, err
+		}
+		p.stats.BlocksRead++
+		p.blockIdx = lo
+		p.block = block
+	}
+	idx := sort.Search(len(p.block), func(i int) bool { return p.block[i].Doc >= doc })
+	if idx < len(p.block) && p.block[idx].Doc == doc {
+		return p.block[idx].TF, true, nil
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"hybridstore/internal/intersect"
+	"hybridstore/internal/workload"
+)
+
+// bruteConjunction computes the reference AND result set with scores.
+func bruteConjunction(spec workload.CollectionSpec, terms []workload.TermID) map[uint32]float64 {
+	numDocs := int64(spec.NumDocs)
+	scores := make(map[uint32]float64)
+	counts := make(map[uint32]int)
+	for _, t := range terms {
+		w := idf(numDocs, int64(spec.DocFreq(t)))
+		for _, p := range spec.Postings(t) {
+			scores[p.Doc] += float64(p.TF) * w
+			counts[p.Doc]++
+		}
+	}
+	for doc, n := range counts {
+		if n != len(terms) {
+			delete(scores, doc)
+		}
+	}
+	return scores
+}
+
+func TestConjunctiveMatchesBruteForce(t *testing.T) {
+	ix, spec := testIndex(t)
+	e := NewConjunctive(ix, DefaultConfig(), nil)
+	for _, terms := range [][]workload.TermID{
+		{0, 1},
+		{2, 10},
+		{0, 5, 20},
+		{3},
+	} {
+		res, stats, err := e.Execute(workload.Query{ID: 1, Terms: terms})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteConjunction(spec, terms)
+		if int64(len(want)) < stats.Matches {
+			t.Fatalf("terms %v: %d matches reported, brute force has %d",
+				terms, stats.Matches, len(want))
+		}
+		if len(terms) > 1 && stats.Matches != int64(len(want)) {
+			t.Fatalf("terms %v: matches %d != brute %d", terms, stats.Matches, len(want))
+		}
+		// Every returned doc must be a real conjunction member with the
+		// right score.
+		for _, d := range res.Docs {
+			wantScore, ok := want[d.Doc]
+			if !ok {
+				t.Fatalf("terms %v: doc %d not in conjunction", terms, d.Doc)
+			}
+			if diff := float64(d.Score) - wantScore; diff > 0.01 || diff < -0.01 {
+				t.Fatalf("terms %v doc %d: score %v, want %v", terms, d.Doc, d.Score, wantScore)
+			}
+		}
+		// Ranking must be descending.
+		for i := 1; i < len(res.Docs); i++ {
+			if res.Docs[i].Score > res.Docs[i-1].Score {
+				t.Fatalf("terms %v: ranking not descending", terms)
+			}
+		}
+	}
+}
+
+func TestConjunctiveTopKBound(t *testing.T) {
+	ix, spec := testIndex(t)
+	cfg := DefaultConfig()
+	cfg.TopK = 10
+	e := NewConjunctive(ix, cfg, nil)
+	res, _, err := e.Execute(workload.Query{ID: 1, Terms: []workload.TermID{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) > 10 {
+		t.Fatalf("returned %d docs, want <= 10", len(res.Docs))
+	}
+	// Verify the returned set is exactly the top 10 of the brute ranking.
+	want := bruteConjunction(spec, []workload.TermID{0, 1})
+	type ds struct {
+		doc   uint32
+		score float64
+	}
+	all := make([]ds, 0, len(want))
+	for d, s := range want {
+		all = append(all, ds{d, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].doc < all[j].doc
+	})
+	if len(all) > 10 {
+		all = all[:10]
+	}
+	if len(res.Docs) != len(all) {
+		t.Fatalf("got %d docs, want %d", len(res.Docs), len(all))
+	}
+}
+
+func TestConjunctiveSkipsBlocks(t *testing.T) {
+	ix, _ := testIndex(t)
+	// Drive the probe directly with two targets from distant skip blocks
+	// of the biggest list: everything between them must be jumped over,
+	// not read.
+	var stats ConjStats
+	probe, err := newSkipProbe(ix, 0, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.skips) < 12 {
+		t.Skipf("term 0 has only %d skip blocks", len(probe.skips))
+	}
+	if _, _, err := probe.find(probe.skips[0].FirstDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := probe.find(probe.skips[10].FirstDoc); err != nil || !ok {
+		t.Fatalf("probe of a block's first doc missed (ok=%v err=%v)", ok, err)
+	}
+	if stats.BlocksSkipped != 9 {
+		t.Fatalf("BlocksSkipped = %d, want 9 (blocks 1..9 jumped)", stats.BlocksSkipped)
+	}
+	if stats.BlocksRead != 2 {
+		t.Fatalf("BlocksRead = %d, want 2", stats.BlocksRead)
+	}
+}
+
+func TestConjunctiveEmptyQuery(t *testing.T) {
+	ix, _ := testIndex(t)
+	e := NewConjunctive(ix, DefaultConfig(), nil)
+	res, _, err := e.Execute(workload.Query{ID: 1})
+	if err != nil || len(res.Docs) != 0 {
+		t.Fatalf("empty query: %v, %d docs", err, len(res.Docs))
+	}
+}
+
+func TestConjunctiveIntersectionCacheHit(t *testing.T) {
+	ix, _ := testIndex(t)
+	ic := intersect.New(1<<20, nil)
+	e := NewConjunctive(ix, DefaultConfig(), ic)
+	q := workload.Query{ID: 1, Terms: []workload.TermID{4, 9}}
+	_, s1, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.IntersectionHit {
+		t.Fatal("first execution claimed a cache hit")
+	}
+	_, s2, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.IntersectionHit {
+		t.Fatal("second execution missed the intersection cache")
+	}
+	if s2.BlocksRead != 0 {
+		t.Fatalf("cache hit still read %d blocks", s2.BlocksRead)
+	}
+	if ic.Stats().Hits != 1 {
+		t.Fatalf("cache stats: %+v", ic.Stats())
+	}
+}
+
+func TestConjunctiveCachedResultIdentical(t *testing.T) {
+	ix, _ := testIndex(t)
+	ic := intersect.New(1<<20, nil)
+	e := NewConjunctive(ix, DefaultConfig(), ic)
+	q := workload.Query{ID: 1, Terms: []workload.TermID{4, 9}}
+	first, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Docs) != len(second.Docs) {
+		t.Fatal("cached result size differs")
+	}
+	for i := range first.Docs {
+		if first.Docs[i] != second.Docs[i] {
+			t.Fatalf("cached result differs at %d", i)
+		}
+	}
+}
+
+func TestConjunctiveThreeTermsWithCache(t *testing.T) {
+	ix, spec := testIndex(t)
+	ic := intersect.New(1<<20, nil)
+	e := NewConjunctive(ix, DefaultConfig(), ic)
+	terms := []workload.TermID{0, 5, 20}
+	q := workload.Query{ID: 2, Terms: terms}
+	e.Execute(q) // warm the pair cache
+	res, stats, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.IntersectionHit {
+		t.Fatal("pair cache not used on repeat 3-term query")
+	}
+	want := bruteConjunction(spec, terms)
+	for _, d := range res.Docs {
+		if _, ok := want[d.Doc]; !ok {
+			t.Fatalf("doc %d not in 3-way conjunction", d.Doc)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package engine implements the retrieval side of the search engine: top-K
+// query processing over impact-ordered posting lists with early
+// termination, producing the fixed-size result entries the paper's result
+// cache stores (§VI: K = 50 documents of ~400 B each ≈ 20 KB per entry).
+//
+// The engine is storage-agnostic: it pulls list bytes through a ListSource,
+// which is either the raw on-device index (uncached baseline) or the
+// two-level cache manager. Because impact-ordered lists let query
+// processing stop after a prefix, the engine's reads exhibit exactly the
+// partial-list utilization (Fig 3a) and skipped-read patterns (§III) the
+// paper's policies exploit.
+package engine
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+
+	"hybridstore/internal/index"
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/workload"
+)
+
+// ListSource supplies posting-list bytes. index.Index satisfies it, and the
+// cache manager wraps one.
+type ListSource interface {
+	// ListBytes returns the serialized size of term t's list.
+	ListBytes(t workload.TermID) int64
+	// ReadListRange fills p with list bytes starting at offset off.
+	ReadListRange(t workload.TermID, off int64, p []byte) error
+	// NumDocs returns the collection size (for IDF weighting).
+	NumDocs() int64
+}
+
+// Config tunes query processing.
+type Config struct {
+	// TopK is the number of results per query (paper: 50).
+	TopK int
+	// ChunkBytes is the list read granularity; impact-ordered lists are
+	// consumed chunk by chunk until termination. Defaults to 8 KiB.
+	ChunkBytes int
+	// TerminationFrac controls early termination: a list is abandoned when
+	// the best possible remaining contribution falls below this fraction
+	// of the current K-th score. Higher = more aggressive truncation.
+	// Defaults to 0.15.
+	TerminationFrac float64
+	// DocResultBytes is the serialized size of one result document (URL,
+	// snippet, date...; paper: ~400 B).
+	DocResultBytes int
+	// Clock, when non-nil, is charged PerPostingCost of simulated CPU time
+	// for every posting scored, so compute time contributes to response
+	// time alongside device time.
+	Clock *simclock.Clock
+	// PerPostingCost is the scoring cost per posting (default 20 ns).
+	PerPostingCost time.Duration
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{TopK: 50, ChunkBytes: 8 << 10, TerminationFrac: 0.15, DocResultBytes: 400}
+}
+
+func (c *Config) fillDefaults() {
+	if c.TopK <= 0 {
+		c.TopK = 50
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 8 << 10
+	}
+	if c.ChunkBytes%index.PostingSize != 0 {
+		c.ChunkBytes += index.PostingSize - c.ChunkBytes%index.PostingSize
+	}
+	if c.TerminationFrac <= 0 {
+		c.TerminationFrac = 0.15
+	}
+	if c.DocResultBytes <= 0 {
+		c.DocResultBytes = 400
+	}
+	if c.PerPostingCost <= 0 {
+		c.PerPostingCost = 20 * time.Nanosecond
+	}
+}
+
+// ScoredDoc is one ranked result.
+type ScoredDoc struct {
+	Doc   uint32
+	Score float32
+}
+
+// Result is a query's result entry: the cacheable unit of the result cache.
+type Result struct {
+	QueryID uint64
+	Docs    []ScoredDoc
+}
+
+// TermStats describes how much of one term's list a query consumed.
+type TermStats struct {
+	Term      workload.TermID
+	ListBytes int64
+	BytesRead int64
+	// Utilization is BytesRead/ListBytes — the measured PU of Fig 3(a).
+	Utilization float64
+	Terminated  bool // true when early termination cut the list short
+}
+
+// ExecStats summarizes one query execution.
+type ExecStats struct {
+	Terms          []TermStats
+	PostingsScored int64
+	BytesRead      int64
+}
+
+// Engine executes queries against a ListSource.
+type Engine struct {
+	src ListSource
+	cfg Config
+}
+
+// New builds an engine over src.
+func New(src ListSource, cfg Config) *Engine {
+	cfg.fillDefaults()
+	return &Engine{src: src, cfg: cfg}
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// idf returns the inverse-document-frequency weight for a term with
+// document frequency df.
+func idf(numDocs, df int64) float64 {
+	if df <= 0 {
+		return 0
+	}
+	return math.Log2(1 + float64(numDocs)/float64(df))
+}
+
+// Execute processes q and returns its top-K result plus execution stats.
+// Terms are processed in increasing document-frequency order so short
+// lists establish the score threshold before long lists are touched,
+// maximizing early-termination effect.
+func (e *Engine) Execute(q workload.Query) (*Result, ExecStats, error) {
+	var stats ExecStats
+	scores := make(map[uint32]float64)
+
+	terms := make([]workload.TermID, len(q.Terms))
+	copy(terms, q.Terms)
+	sort.Slice(terms, func(i, j int) bool {
+		return e.src.ListBytes(terms[i]) < e.src.ListBytes(terms[j])
+	})
+
+	numDocs := e.src.NumDocs()
+	top := newTopK(e.cfg.TopK)
+	for _, t := range terms {
+		ts, err := e.scanList(t, idf(numDocs, e.src.ListBytes(t)/index.PostingSize), scores, top, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Terms = append(stats.Terms, ts)
+		stats.BytesRead += ts.BytesRead
+	}
+
+	return &Result{QueryID: q.ID, Docs: top.ranked()}, stats, nil
+}
+
+// scanList consumes term t's impact-ordered list chunk by chunk,
+// accumulating scores, until the list ends or early termination fires.
+func (e *Engine) scanList(t workload.TermID, w float64, scores map[uint32]float64, top *topK, stats *ExecStats) (TermStats, error) {
+	total := e.src.ListBytes(t)
+	ts := TermStats{Term: t, ListBytes: total}
+	buf := make([]byte, e.cfg.ChunkBytes)
+	var off int64
+	for off < total {
+		n := int64(len(buf))
+		if total-off < n {
+			n = total - off
+		}
+		if err := e.src.ReadListRange(t, off, buf[:n]); err != nil {
+			return ts, err
+		}
+		off += n
+		ts.BytesRead += n
+
+		postings := index.DecodePostings(buf[:n])
+		for _, p := range postings {
+			s := scores[p.Doc] + float64(p.TF)*w
+			scores[p.Doc] = s
+			top.offer(p.Doc, s)
+		}
+		stats.PostingsScored += int64(len(postings))
+		if e.cfg.Clock != nil {
+			e.cfg.Clock.Advance(time.Duration(len(postings)) * e.cfg.PerPostingCost)
+		}
+
+		// Early termination: remaining postings have TF no larger than the
+		// last one seen (impact order). If even that bound cannot move the
+		// top-K meaningfully, abandon the tail.
+		if top.full() && len(postings) > 0 {
+			bound := float64(postings[len(postings)-1].TF) * w
+			if bound < e.cfg.TerminationFrac*top.min() {
+				ts.Terminated = true
+				break
+			}
+		}
+	}
+	if total > 0 {
+		ts.Utilization = float64(ts.BytesRead) / float64(total)
+	}
+	return ts, nil
+}
+
+// topK maintains the K best (doc, score) pairs seen so far. Scores for a
+// document may be offered repeatedly as later lists add to its total; the
+// structure keeps the latest offer per document.
+type topK struct {
+	k     int
+	heap  docHeap
+	index map[uint32]int // doc -> heap position
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, index: make(map[uint32]int, k)}
+}
+
+func (t *topK) full() bool { return len(t.heap) >= t.k }
+
+// min returns the lowest score in the current top-K (0 if not full).
+func (t *topK) min() float64 {
+	if len(t.heap) == 0 {
+		return 0
+	}
+	return t.heap[0].score
+}
+
+// offer updates doc's score (monotone increases only, as scores accumulate).
+func (t *topK) offer(doc uint32, score float64) {
+	if pos, ok := t.index[doc]; ok {
+		t.heap[pos].score = score
+		heap.Fix(&t.heap, pos)
+		return
+	}
+	if len(t.heap) < t.k {
+		heap.Push(&t.heap, scoredRef{doc: doc, score: score, owner: t})
+		return
+	}
+	if score > t.heap[0].score {
+		evicted := t.heap[0].doc
+		delete(t.index, evicted)
+		t.heap[0] = scoredRef{doc: doc, score: score, owner: t}
+		t.index[doc] = 0
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// ranked returns the top-K docs in descending score order (ties by doc id).
+func (t *topK) ranked() []ScoredDoc {
+	out := make([]ScoredDoc, len(t.heap))
+	for i, e := range t.heap {
+		out[i] = ScoredDoc{Doc: e.doc, Score: float32(e.score)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}
+
+type scoredRef struct {
+	doc   uint32
+	score float64
+	owner *topK
+}
+
+type docHeap []scoredRef
+
+func (h docHeap) Len() int           { return len(h) }
+func (h docHeap) Less(i, j int) bool { return h[i].score < h[j].score }
+func (h docHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].owner.index[h[i].doc] = i
+	h[j].owner.index[h[j].doc] = j
+}
+func (h *docHeap) Push(x any) {
+	e := x.(scoredRef)
+	e.owner.index[e.doc] = len(*h)
+	*h = append(*h, e)
+}
+func (h *docHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	delete(e.owner.index, e.doc)
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,35 @@
+package engine
+
+import "testing"
+
+// FuzzDecodeResult checks the result-entry decoder never panics and never
+// over-reads on corrupt or truncated cache payloads — exactly what a
+// decoder fed from a simulated (or real) flash device must tolerate.
+func FuzzDecodeResult(f *testing.F) {
+	good := (&Result{QueryID: 7, Docs: []ScoredDoc{{Doc: 1, Score: 2}, {Doc: 9, Score: 1}}}).Encode(64)
+	f.Add(good)
+	f.Add(good[:len(good)-10])
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	// Regression: a header whose n×docBytes overflows must be rejected,
+	// not allocated (found by fuzzing).
+	f.Add([]byte("\xb6\xb6\xb6\xb6\xc5\x1ef\xdb\xcb\xd6\xcb\xcaY\xdbD\xb3"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must round-trip consistently.
+		if res.Docs == nil && len(res.Docs) != 0 {
+			t.Fatal("nil docs on success")
+		}
+		re := res.Encode(64)
+		back, err := DecodeResult(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted payload rejected: %v", err)
+		}
+		if back.QueryID != res.QueryID || len(back.Docs) != len(res.Docs) {
+			t.Fatal("re-encode round trip mismatch")
+		}
+	})
+}

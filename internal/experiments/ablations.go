@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/core"
+	"hybridstore/internal/metrics"
+)
+
+// Ablations measures the design choices DESIGN.md calls out, one row per
+// variant: combined hit ratio, mean response time, SSD erases and SSD
+// write volume at the reference scale.
+func Ablations(w io.Writer, sc Scale) error {
+	type variant struct {
+		name   string
+		policy core.Policy
+		mutate func(*core.Config)
+	}
+	variants := []variant{
+		{"LRU baseline", core.PolicyLRU, nil},
+		{"CBLRU (default)", core.PolicyCBLRU, nil},
+		{"CBLRU, TEV=0 (no selection)", core.PolicyCBLRU, func(c *core.Config) { c.TEV = 0 }},
+		{"CBLRU, no readahead", core.PolicyCBLRU, func(c *core.Config) { c.PrefetchQuantum = -1 }},
+		{"CBLRU, W=1", core.PolicyCBLRU, func(c *core.Config) { c.WindowW = 1 }},
+		{"CBLRU, W=20", core.PolicyCBLRU, func(c *core.Config) { c.WindowW = 20 }},
+		{"CBSLRU, static 25%", core.PolicyCBSLRU, func(c *core.Config) { c.StaticFraction = 0.25 }},
+		{"CBSLRU, static 50%", core.PolicyCBSLRU, func(c *core.Config) { c.StaticFraction = 0.5 }},
+		{"CBSLRU, static 75%", core.PolicyCBSLRU, func(c *core.Config) { c.StaticFraction = 0.75 }},
+	}
+
+	tab := metrics.NewTable("variant", "RIC", "resp_ms", "erases", "ssd_write_MB")
+	for _, v := range variants {
+		cfg := sc.cacheConfig(v.policy)
+		if v.mutate != nil {
+			v.mutate(&cfg)
+		}
+		sys, err := sc.system(v.policy, hybrid.CacheTwoLevel, hybrid.IndexOnHDD, sc.BaseDocs, cfg)
+		if err != nil {
+			return err
+		}
+		rs, ms, err := runMeasured(sys, sc)
+		if err != nil {
+			return err
+		}
+		tab.AddRow(v.name,
+			ms.CombinedHitRatio(),
+			float64(rs.MeanResponseTime().Microseconds())/1000,
+			sys.CacheSSD.Wear().TotalErases,
+			fmt.Sprintf("%.1f", float64(ms.ListBytesToSSD+ms.ResultBytesToSSD)/(1<<20)))
+	}
+	_, err := io.WriteString(w, tab.String())
+	fmt.Fprintln(w, "(each row isolates one design choice of §VI; erases are cumulative from cold)")
+	return err
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// microScale is an even smaller configuration than SmallScale so every
+// experiment completes in test time.
+func microScale() Scale {
+	return Scale{
+		BaseDocs:        150_000,
+		Vocab:           1200,
+		MaxDFShare:      0.2,
+		DistinctQueries: 3000,
+		WarmQueries:     250,
+		MeasureQueries:  300,
+		MemBytes:        1 << 20 / 2,
+		SSDResultBytes:  1 << 20 / 2,
+		SSDListBytes:    3 << 20,
+		DocSteps:        2,
+		SizeSteps:       2,
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) < 12 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig17"); !ok {
+		t.Fatal("fig17 not found")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+// TestEveryExperimentRuns executes each regenerator at micro scale and
+// sanity-checks that it produced tabular output.
+func TestEveryExperimentRuns(t *testing.T) {
+	sc := microScale()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, sc); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s produced almost no output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "\n") {
+				t.Fatalf("%s produced a single line", e.ID)
+			}
+		})
+	}
+}
+
+func TestDocSweepShape(t *testing.T) {
+	sc := microScale()
+	sweep := sc.docSweep()
+	if len(sweep) != sc.DocSteps {
+		t.Fatalf("sweep has %d points", len(sweep))
+	}
+	if sweep[len(sweep)-1] != sc.BaseDocs {
+		t.Fatalf("sweep does not end at BaseDocs: %v", sweep)
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatalf("sweep not increasing: %v", sweep)
+		}
+	}
+}
+
+func TestMemSizesShape(t *testing.T) {
+	sc := microScale()
+	sizes := sc.memSizes()
+	if len(sizes) != sc.SizeSteps {
+		t.Fatalf("sizes has %d points", len(sizes))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not increasing: %v", sizes)
+		}
+	}
+}
+
+func TestScalesValid(t *testing.T) {
+	for name, sc := range map[string]Scale{"full": FullScale(), "small": SmallScale()} {
+		if sc.BaseDocs <= 0 || sc.Vocab <= 0 || sc.MemBytes <= 0 ||
+			sc.WarmQueries <= 0 || sc.MeasureQueries <= 0 {
+			t.Fatalf("%s scale has zero fields: %+v", name, sc)
+		}
+		if err := sc.collection(sc.BaseDocs).Validate(); err != nil {
+			t.Fatalf("%s collection invalid: %v", name, err)
+		}
+		if err := sc.log().Validate(); err != nil {
+			t.Fatalf("%s log invalid: %v", name, err)
+		}
+	}
+}

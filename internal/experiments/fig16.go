@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/core"
+	"hybridstore/internal/metrics"
+)
+
+// fig16Config builds the cache configuration for one of Fig 16's setups.
+// "R" setups cache results only (token list cache); "RI" caches both.
+// Two-level setups use the paper's 10×/100× SSD region ratios.
+func (sc Scale) fig16Config(twoLevel, withLists bool) core.Config {
+	cfg := sc.cacheConfig(core.PolicyCBLRU)
+	if !withLists {
+		cfg.MemResultBytes = sc.MemBytes - cfg.ResultEntryBytes
+		cfg.MemListBytes = cfg.ResultEntryBytes
+	}
+	if !twoLevel {
+		cfg.SSDResultBytes, cfg.SSDListBytes = 0, 0
+		return cfg
+	}
+	cfg.SSDResultBytes = 10 * cfg.MemResultBytes
+	if withLists {
+		cfg.SSDListBytes = sc.SSDListBytes
+	} else {
+		cfg.SSDListBytes = 0
+	}
+	return cfg
+}
+
+// Fig16OneVsTwoLevel regenerates Fig 16: (a) a one-level result cache with
+// the index on HDD vs SSD; (b) one-level vs two-level caches on HDD,
+// result-only vs result+list. Response time and throughput per collection
+// size.
+func Fig16OneVsTwoLevel(w io.Writer, sc Scale) error {
+	type setup struct {
+		name      string
+		mode      hybrid.CacheMode
+		placement hybrid.IndexPlacement
+		twoLevel  bool
+		withLists bool
+	}
+	setups := []setup{
+		{"1LC(R)-HDD", hybrid.CacheOneLevel, hybrid.IndexOnHDD, false, false},
+		{"1LC(R)-SSD", hybrid.CacheOneLevel, hybrid.IndexOnSSD, false, false},
+		{"2LC(R)-HDD", hybrid.CacheTwoLevel, hybrid.IndexOnHDD, true, false},
+		{"2LC(RI)-HDD", hybrid.CacheTwoLevel, hybrid.IndexOnHDD, true, true},
+	}
+	respTab := metrics.NewTable("docs", setups[0].name, setups[1].name, setups[2].name, setups[3].name)
+	thrTab := metrics.NewTable("docs", setups[0].name, setups[1].name, setups[2].name, setups[3].name)
+	for _, docs := range sc.docSweep() {
+		resp := make([]any, 0, len(setups)+1)
+		thr := make([]any, 0, len(setups)+1)
+		resp = append(resp, docs)
+		thr = append(thr, docs)
+		for _, st := range setups {
+			cfg := sc.fig16Config(st.twoLevel, st.withLists)
+			sys, err := sc.system(core.PolicyCBLRU, st.mode, st.placement, docs, cfg)
+			if err != nil {
+				return err
+			}
+			rs, _, err := runMeasured(sys, sc)
+			if err != nil {
+				return err
+			}
+			resp = append(resp, float64(rs.MeanResponseTime().Microseconds())/1000)
+			thr = append(thr, fmtQPS(rs.Throughput()))
+		}
+		respTab.AddRow(resp...)
+		thrTab.AddRow(thr...)
+	}
+	fmt.Fprintln(w, "# Fig 16 — mean response time (ms)")
+	io.WriteString(w, respTab.String())
+	fmt.Fprintln(w, "\n# Fig 16 — throughput (queries/s)")
+	io.WriteString(w, thrTab.String())
+	fmt.Fprintln(w, "(paper: SSD index storage alone helps little; the two-level cache, especially RI, wins)")
+	return nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/core"
+	"hybridstore/internal/metrics"
+)
+
+// Fig17PolicyPerformance regenerates Fig 17: mean response time and
+// throughput of LRU, CBLRU and CBSLRU on the two-level hierarchy over
+// collection size, with the paper's headline relative improvements.
+func Fig17PolicyPerformance(w io.Writer, sc Scale) error {
+	policies := []core.Policy{core.PolicyLRU, core.PolicyCBLRU, core.PolicyCBSLRU}
+	respTab := metrics.NewTable("docs", "LRU_ms", "CBLRU_ms", "CBSLRU_ms")
+	thrTab := metrics.NewTable("docs", "LRU_qps", "CBLRU_qps", "CBSLRU_qps")
+	var respSum, thrSum [3]float64
+	var points int
+	for _, docs := range sc.docSweep() {
+		var resp, thr [3]float64
+		for i, policy := range policies {
+			sys, err := sc.system(policy, hybrid.CacheTwoLevel, hybrid.IndexOnHDD,
+				docs, sc.cacheConfig(policy))
+			if err != nil {
+				return err
+			}
+			rs, _, err := runMeasured(sys, sc)
+			if err != nil {
+				return err
+			}
+			resp[i] = float64(rs.MeanResponseTime().Microseconds()) / 1000
+			thr[i] = rs.Throughput()
+			respSum[i] += resp[i]
+			thrSum[i] += thr[i]
+		}
+		points++
+		respTab.AddRow(docs, resp[0], resp[1], resp[2])
+		thrTab.AddRow(docs, fmtQPS(thr[0]), fmtQPS(thr[1]), fmtQPS(thr[2]))
+	}
+	fmt.Fprintln(w, "# Fig 17(a) — mean response time (ms)")
+	io.WriteString(w, respTab.String())
+	fmt.Fprintln(w, "\n# Fig 17(b) — throughput (queries/s)")
+	io.WriteString(w, thrTab.String())
+
+	if points > 0 && respSum[0] > 0 && thrSum[0] > 0 {
+		fmt.Fprintf(w, "response time vs LRU: CBLRU %+.1f%%, CBSLRU %+.1f%% (paper: -35.27%%, -41.05%%)\n",
+			100*(respSum[1]-respSum[0])/respSum[0], 100*(respSum[2]-respSum[0])/respSum[0])
+		fmt.Fprintf(w, "throughput vs LRU:    CBLRU %+.1f%%, CBSLRU %+.1f%% (paper: +55.29%%, +70.47%%)\n",
+			100*(thrSum[1]-thrSum[0])/thrSum[0], 100*(thrSum[2]-thrSum[0])/thrSum[0])
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/core"
+	"hybridstore/internal/metrics"
+)
+
+// Table1Situations regenerates Table I: the nine retrieval situations with
+// their measured probabilities P1..P9 and mean time costs T1..T9, under
+// the full two-level architecture (memory + SSD, CBSLRU).
+func Table1Situations(w io.Writer, sc Scale) error {
+	sys, err := sc.system(core.PolicyCBSLRU, hybrid.CacheTwoLevel, hybrid.IndexOnHDD,
+		sc.BaseDocs, sc.cacheConfig(core.PolicyCBSLRU))
+	if err != nil {
+		return err
+	}
+	if _, _, err := runMeasured(sys, sc); err != nil {
+		return err
+	}
+	tally := sys.Manager.Stats().Situations
+
+	tab := metrics.NewTable("situation", "sources", "P_i", "T_i")
+	for s := core.S1ResultMem; s < core.S1ResultMem+9; s++ {
+		tab.AddRow(fmt.Sprintf("S%d", int(s)+1), s.String(),
+			fmt.Sprintf("%.4f", tally.Probability(s)), tally.MeanTime(s).String())
+	}
+	if _, err := io.WriteString(w, tab.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "queries classified: %d\n", tally.Total())
+	fmt.Fprintln(w, "(paper's goal: maximize P1..P5 — cache-served situations — and keep their T low)")
+
+	var cached float64
+	for s := core.S1ResultMem; s <= core.S5ListsSSD; s++ {
+		cached += tally.Probability(s)
+	}
+	fmt.Fprintf(w, "P(S1..S5) = %.4f\n", cached)
+	return nil
+}

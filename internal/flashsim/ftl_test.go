@@ -1,0 +1,329 @@
+package flashsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/storage"
+)
+
+// ftlDevice is the common surface of all three FTL implementations.
+type ftlDevice interface {
+	storage.Device
+	storage.Trimmer
+	Wear() WearStats
+	Stats() storage.DeviceStats
+	PageSize() int
+	BlockSize() int64
+}
+
+func smallParams(exported, spare int) Params {
+	return Params{
+		PageSize:       2 << 10,
+		PagesPerBlock:  64,
+		ExportedBlocks: exported,
+		SpareBlocks:    spare,
+	}
+}
+
+// makeFTLs builds one drive per FTL with identical geometry.
+func makeFTLs(exported, spare int) map[string]ftlDevice {
+	return map[string]ftlDevice{
+		"pagemap":   New("pm", simclock.New(), smallParams(exported, spare)),
+		"blockmap":  NewBlockMapped("bm", simclock.New(), smallParams(exported, spare)),
+		"hybridlog": NewHybridLog("hl", simclock.New(), smallParams(exported, spare)),
+	}
+}
+
+func TestAllFTLsReadBackWrite(t *testing.T) {
+	for name, d := range makeFTLs(8, 4) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("ftl round trip")
+			if _, err := d.WriteAt(data, 5000); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(data))
+			if _, err := d.ReadAt(got, 5000); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("read %q", got)
+			}
+		})
+	}
+}
+
+func TestAllFTLsUnwrittenZero(t *testing.T) {
+	for name, d := range makeFTLs(4, 4) {
+		t.Run(name, func(t *testing.T) {
+			buf := make([]byte, 256)
+			d.ReadAt(buf, d.Size()/2)
+			for _, b := range buf {
+				if b != 0 {
+					t.Fatal("unwritten range not zero")
+				}
+			}
+		})
+	}
+}
+
+func TestAllFTLsOverwriteWins(t *testing.T) {
+	for name, d := range makeFTLs(8, 4) {
+		t.Run(name, func(t *testing.T) {
+			page := make([]byte, d.PageSize())
+			for round := byte(1); round <= 5; round++ {
+				for i := range page {
+					page[i] = round
+				}
+				d.WriteAt(page, int64(3*d.PageSize()))
+			}
+			got := make([]byte, d.PageSize())
+			d.ReadAt(got, int64(3*d.PageSize()))
+			if got[0] != 5 || got[len(got)-1] != 5 {
+				t.Fatalf("overwrite lost: byte %d", got[0])
+			}
+		})
+	}
+}
+
+func TestAllFTLsSurviveCapacityChurn(t *testing.T) {
+	for name, d := range makeFTLs(6, 4) {
+		t.Run(name, func(t *testing.T) {
+			pageSize := int64(d.PageSize())
+			pages := d.Size() / pageSize
+			buf := make([]byte, pageSize)
+			// Three full sequential passes with distinct fills.
+			for round := byte(1); round <= 3; round++ {
+				for lp := int64(0); lp < pages; lp++ {
+					for i := range buf {
+						buf[i] = round + byte(lp%31)
+					}
+					if _, err := d.WriteAt(buf, lp*pageSize); err != nil {
+						t.Fatalf("round %d page %d: %v", round, lp, err)
+					}
+				}
+			}
+			// Everything must read back as round 3.
+			got := make([]byte, pageSize)
+			for lp := int64(0); lp < pages; lp += 7 {
+				d.ReadAt(got, lp*pageSize)
+				want := byte(3) + byte(lp%31)
+				if got[0] != want {
+					t.Fatalf("page %d = %d, want %d", lp, got[0], want)
+				}
+			}
+		})
+	}
+}
+
+func TestAllFTLsTrimZeroes(t *testing.T) {
+	for name, d := range makeFTLs(6, 4) {
+		t.Run(name, func(t *testing.T) {
+			blockBytes := d.BlockSize()
+			buf := make([]byte, blockBytes)
+			for i := range buf {
+				buf[i] = 0xEE
+			}
+			d.WriteAt(buf, 0)
+			if _, err := d.Trim(0, blockBytes); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, blockBytes)
+			d.ReadAt(got, 0)
+			for i, b := range got {
+				if b != 0 {
+					t.Fatalf("byte %d not zero after trim", i)
+				}
+			}
+		})
+	}
+}
+
+func TestFTLRandomWriteCostOrdering(t *testing.T) {
+	// The paper's §II-A hierarchy under random single-page overwrites:
+	// block mapping amplifies writes catastrophically, the hybrid log
+	// sits in between, the ideal page map is cheapest.
+	wearOf := func(d ftlDevice) float64 {
+		rng := simclock.NewRNG(11)
+		pageSize := int64(d.PageSize())
+		pages := int(d.Size() / pageSize)
+		buf := make([]byte, pageSize)
+		for i := 0; i < pages*3; i++ {
+			d.WriteAt(buf, int64(rng.Intn(pages))*pageSize)
+		}
+		return d.Wear().WriteAmplification
+	}
+	ftls := makeFTLs(8, 4)
+	pm := wearOf(ftls["pagemap"])
+	hl := wearOf(ftls["hybridlog"])
+	bm := wearOf(ftls["blockmap"])
+	if !(pm <= hl && hl <= bm) {
+		t.Fatalf("WA ordering wrong: pagemap %.2f, hybridlog %.2f, blockmap %.2f", pm, hl, bm)
+	}
+	if bm < 2 {
+		t.Fatalf("blockmap WA %.2f suspiciously low under random overwrites", bm)
+	}
+}
+
+func TestFTLSequentialFillCheapEverywhere(t *testing.T) {
+	// A sequential first fill is the friendly pattern for every FTL:
+	// write amplification stays at 1 (no relocation, no merges).
+	for name, d := range makeFTLs(8, 4) {
+		t.Run(name, func(t *testing.T) {
+			buf := make([]byte, d.PageSize())
+			for off := int64(0); off < d.Size(); off += int64(len(buf)) {
+				d.WriteAt(buf, off)
+			}
+			if wa := d.Wear().WriteAmplification; wa > 1.01 {
+				t.Fatalf("sequential fill WA = %.2f, want 1", wa)
+			}
+		})
+	}
+}
+
+func TestFTLSequentialRewrite(t *testing.T) {
+	// Rewriting sequentially: free for the page map (victims are fully
+	// invalid), tolerable for the hybrid log, and expensive for naive
+	// block mapping (every in-place overwrite forces a merge) — the
+	// weakness [7] is cited for in §II-A.
+	wearAfterRewrites := func(d ftlDevice) float64 {
+		buf := make([]byte, d.PageSize())
+		for round := 0; round < 3; round++ {
+			for off := int64(0); off < d.Size(); off += int64(len(buf)) {
+				d.WriteAt(buf, off)
+			}
+		}
+		return d.Wear().WriteAmplification
+	}
+	ftls := makeFTLs(8, 4)
+	pm := wearAfterRewrites(ftls["pagemap"])
+	bm := wearAfterRewrites(ftls["blockmap"])
+	if pm > 1.6 {
+		t.Fatalf("pagemap sequential-rewrite WA = %.2f, want near 1", pm)
+	}
+	if bm <= pm {
+		t.Fatalf("blockmap WA %.2f not above pagemap %.2f on rewrites", bm, pm)
+	}
+}
+
+func TestBlockMappedMergeCounted(t *testing.T) {
+	d := NewBlockMapped("bm", simclock.New(), smallParams(4, 2))
+	page := make([]byte, d.PageSize())
+	d.WriteAt(page, 0)
+	d.WriteAt(page, 0) // overwrite → merge
+	w := d.Wear()
+	if w.GCRuns == 0 {
+		t.Fatal("merge not counted")
+	}
+	if w.TotalErases == 0 {
+		t.Fatal("merge did not erase")
+	}
+}
+
+func TestBlockMappedOverwriteLatencyIncludesMerge(t *testing.T) {
+	d := NewBlockMapped("bm", simclock.New(), smallParams(4, 2))
+	page := make([]byte, d.PageSize())
+	first, _ := d.WriteAt(page, 0)
+	second, _ := d.WriteAt(page, 0)
+	if second <= first {
+		t.Fatalf("overwrite (%v) not slower than first write (%v)", second, first)
+	}
+	if second < 1500*time.Microsecond {
+		t.Fatalf("overwrite %v cheaper than one erase", second)
+	}
+}
+
+func TestHybridLogAbsorbsOverwrites(t *testing.T) {
+	// A few overwrites should land in the log with no merge at all.
+	d := NewHybridLog("hl", simclock.New(), smallParams(8, 6))
+	page := make([]byte, d.PageSize())
+	for i := 0; i < 10; i++ {
+		d.WriteAt(page, 0)
+	}
+	if d.Wear().GCRuns != 0 {
+		t.Fatalf("hybrid log merged after only 10 overwrites (pool should absorb them)")
+	}
+	if d.Wear().TotalErases != 0 {
+		t.Fatal("erases without log exhaustion")
+	}
+}
+
+func TestHybridLogMergesWhenLogFull(t *testing.T) {
+	d := NewHybridLog("hl", simclock.New(), smallParams(6, 4))
+	rng := simclock.NewRNG(3)
+	page := make([]byte, d.PageSize())
+	pages := int(d.Size() / int64(d.PageSize()))
+	for i := 0; i < pages*4; i++ {
+		d.WriteAt(page, int64(rng.Intn(pages))*int64(d.PageSize()))
+	}
+	w := d.Wear()
+	if w.GCRuns == 0 {
+		t.Fatal("log never merged under sustained random overwrites")
+	}
+	if w.TotalErases == 0 {
+		t.Fatal("no erases despite merges")
+	}
+}
+
+func TestFTLGeometryValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewBlockMapped("x", simclock.New(), Params{}) },
+		func() { NewBlockMapped("x", simclock.New(), smallParams(4, 0)) },
+		func() { NewHybridLog("x", simclock.New(), Params{}) },
+		func() { NewHybridLog("x", simclock.New(), smallParams(4, 2)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFTLLastWriteWinsProperty(t *testing.T) {
+	// Same invariant as the page-map property test, across all FTLs.
+	mk := map[string]func() ftlDevice{
+		"blockmap":  func() ftlDevice { return NewBlockMapped("bm", simclock.New(), smallParams(4, 2)) },
+		"hybridlog": func() ftlDevice { return NewHybridLog("hl", simclock.New(), smallParams(4, 3)) },
+	}
+	for name, build := range mk {
+		t.Run(name, func(t *testing.T) {
+			f := func(writes []uint16) bool {
+				d := build()
+				pageSize := int64(d.PageSize())
+				pages := int(d.Size() / pageSize)
+				last := make(map[int]byte)
+				buf := make([]byte, pageSize)
+				for i, w := range writes {
+					lp := int(w) % pages
+					tag := byte(i + 1)
+					for j := range buf {
+						buf[j] = tag
+					}
+					if _, err := d.WriteAt(buf, int64(lp)*pageSize); err != nil {
+						return false
+					}
+					last[lp] = tag
+				}
+				got := make([]byte, pageSize)
+				for lp, tag := range last {
+					d.ReadAt(got, int64(lp)*pageSize)
+					if got[0] != tag || got[pageSize-1] != tag {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+package flashsim
+
+import (
+	"fmt"
+
+	"hybridstore/internal/storage"
+)
+
+// nandArray models the raw NAND medium shared by every FTL in this
+// package: physical pages grouped into erase blocks, with program/read/
+// erase mechanics, page states, per-block wear counters and real data
+// storage. It charges no time itself — FTLs account latency — and it is
+// not safe for concurrent use (the owning device serializes).
+type nandArray struct {
+	pageSize      int
+	pagesPerBlock int
+	blocks        int
+
+	data       *storage.SparseBuffer // physical byte space
+	pageState  []int8                // pageFree / pageValid / pageInvalid
+	blockValid []int                 // valid pages per block
+	blockFree  []int                 // free (never-programmed-since-erase) pages per block
+	erases     []int64
+
+	totalErases int64
+	programs    int64
+	reads       int64
+}
+
+func newNANDArray(pageSize, pagesPerBlock, blocks int) *nandArray {
+	if pageSize <= 0 || pagesPerBlock <= 0 || blocks <= 0 {
+		panic(fmt.Sprintf("flashsim: invalid NAND geometry %d/%d/%d", pageSize, pagesPerBlock, blocks))
+	}
+	n := &nandArray{
+		pageSize:      pageSize,
+		pagesPerBlock: pagesPerBlock,
+		blocks:        blocks,
+		pageState:     make([]int8, blocks*pagesPerBlock),
+		blockValid:    make([]int, blocks),
+		blockFree:     make([]int, blocks),
+		erases:        make([]int64, blocks),
+	}
+	n.data = storage.NewSparseBuffer(int64(blocks) * n.blockBytes())
+	for b := range n.blockFree {
+		n.blockFree[b] = pagesPerBlock
+	}
+	return n
+}
+
+func (n *nandArray) blockBytes() int64 { return int64(n.pageSize * n.pagesPerBlock) }
+
+func (n *nandArray) physOffset(phys int32) int64 { return int64(phys) * int64(n.pageSize) }
+
+func (n *nandArray) blockOf(phys int32) int { return int(phys) / n.pagesPerBlock }
+
+// readPage copies a physical page into buf (len >= pageSize).
+func (n *nandArray) readPage(phys int32, buf []byte) {
+	n.data.ReadAt(buf[:n.pageSize], n.physOffset(phys))
+	n.reads++
+}
+
+// programPage writes content into a free physical page and marks it valid.
+// Programming a non-free page panics: NAND cannot overwrite in place, and
+// an FTL that tries has a bug.
+func (n *nandArray) programPage(phys int32, content []byte) {
+	if n.pageState[phys] != pageFree {
+		panic(fmt.Sprintf("flashsim: program of non-free page %d (state %d)", phys, n.pageState[phys]))
+	}
+	n.data.WriteAt(content[:n.pageSize], n.physOffset(phys))
+	n.pageState[phys] = pageValid
+	b := n.blockOf(phys)
+	n.blockValid[b]++
+	n.blockFree[b]--
+	n.programs++
+}
+
+// invalidatePage marks a valid page invalid (its logical content moved or
+// was trimmed).
+func (n *nandArray) invalidatePage(phys int32) {
+	if n.pageState[phys] == pageValid {
+		n.pageState[phys] = pageInvalid
+		n.blockValid[n.blockOf(phys)]--
+	}
+}
+
+// eraseBlock resets every page of block b to free and bumps wear.
+func (n *nandArray) eraseBlock(b int) {
+	base := b * n.pagesPerBlock
+	for i := 0; i < n.pagesPerBlock; i++ {
+		n.pageState[base+i] = pageFree
+	}
+	n.data.Zero(int64(b)*n.blockBytes(), n.blockBytes())
+	n.blockValid[b] = 0
+	n.blockFree[b] = n.pagesPerBlock
+	n.erases[b]++
+	n.totalErases++
+}
+
+// wearSummary folds per-block erase counters.
+func (n *nandArray) wearSummary() (total, max int64) {
+	for _, e := range n.erases {
+		total += e
+		if e > max {
+			max = e
+		}
+	}
+	return total, max
+}

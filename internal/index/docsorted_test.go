@@ -1,0 +1,124 @@
+package index
+
+import (
+	"sort"
+	"testing"
+
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/storage"
+	"hybridstore/internal/workload"
+)
+
+func TestDocMetaPresent(t *testing.T) {
+	ix, spec := buildTestIndex(t)
+	for term := 0; term < spec.VocabSize; term += 37 {
+		m, ok := ix.DocMeta(workload.TermID(term))
+		if !ok {
+			t.Fatalf("term %d: no doc meta", term)
+		}
+		if m.DF != int64(spec.DocFreq(workload.TermID(term))) {
+			t.Fatalf("term %d: doc df %d", term, m.DF)
+		}
+	}
+}
+
+func TestSkipTableShape(t *testing.T) {
+	ix, spec := buildTestIndex(t)
+	term := workload.TermID(0)
+	skips, err := ix.ReadSkipTable(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := int64(spec.DocFreq(term))
+	wantBlocks := int((df + SkipInterval - 1) / SkipInterval)
+	if len(skips) != wantBlocks {
+		t.Fatalf("skip entries = %d, want %d", len(skips), wantBlocks)
+	}
+	for i := 1; i < len(skips); i++ {
+		if skips[i].FirstDoc <= skips[i-1].FirstDoc {
+			t.Fatalf("skip docs not ascending at %d", i)
+		}
+		if skips[i].ByteOff != skips[i-1].ByteOff+SkipInterval*PostingSize {
+			t.Fatalf("skip offsets not contiguous at %d", i)
+		}
+	}
+}
+
+func TestDocBlocksSortedAndComplete(t *testing.T) {
+	ix, spec := buildTestIndex(t)
+	term := workload.TermID(3)
+	want := spec.Postings(term)
+	sort.Slice(want, func(i, j int) bool { return want[i].Doc < want[j].Doc })
+
+	skips, err := ix.ReadSkipTable(term)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []workload.Posting
+	for _, sk := range skips {
+		block, err := ix.ReadDocBlock(term, sk.ByteOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if block[0].Doc != sk.FirstDoc {
+			t.Fatalf("block first doc %d != skip entry %d", block[0].Doc, sk.FirstDoc)
+		}
+		got = append(got, block...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reassembled %d postings, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("posting %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadDocBlockBounds(t *testing.T) {
+	ix, _ := buildTestIndex(t)
+	m, _ := ix.DocMeta(0)
+	if _, err := ix.ReadDocBlock(0, uint32(m.DF*PostingSize)); err == nil {
+		t.Fatal("out-of-range doc block accepted")
+	}
+}
+
+func TestDocSectionSurvivesOpen(t *testing.T) {
+	spec := testSpec()
+	dev := storage.NewMemDevice("idx", RequiredBytes(spec)+4096, simclock.New(), storage.DefaultMemParams())
+	if _, err := Build(dev, spec); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skips, err := opened.ReadSkipTable(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skips) == 0 {
+		t.Fatal("no skip entries after Open")
+	}
+	block, err := opened.ReadDocBlock(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(block); i++ {
+		if block[i].Doc <= block[i-1].Doc {
+			t.Fatal("doc block not sorted after Open")
+		}
+	}
+}
+
+func TestSkipTableBytes(t *testing.T) {
+	if got := SkipTableBytes(1); got != 4+8 {
+		t.Fatalf("SkipTableBytes(1) = %d", got)
+	}
+	if got := SkipTableBytes(SkipInterval); got != 4+8 {
+		t.Fatalf("SkipTableBytes(%d) = %d", SkipInterval, got)
+	}
+	if got := SkipTableBytes(SkipInterval + 1); got != 4+16 {
+		t.Fatalf("SkipTableBytes(%d) = %d", SkipInterval+1, got)
+	}
+}

@@ -1,0 +1,241 @@
+// Package index implements the on-disk inverted index the search engine
+// retrieves from: impact-ordered (frequency-sorted) posting lists laid out
+// contiguously on a simulated block device, with an in-memory term
+// directory, mirroring the index organization the paper assumes from
+// Lucene with filtered-vector-model list ordering (§VI).
+//
+// The index is the paper's *backing store*: the two-level cache sits in
+// front of a Reader, and every byte a query needs that is not cached is
+// read from here at device cost.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hybridstore/internal/storage"
+	"hybridstore/internal/workload"
+)
+
+// PostingSize is the serialized size of one posting: doc uint32, tf uint16,
+// padding uint16 (alignment).
+const PostingSize = 8
+
+// headerSize is the serialized index header: magic, version, numTerms,
+// numDocs.
+const headerSize = 4 + 4 + 8 + 8
+
+// dirEntrySize is one serialized directory entry: impact offset int64,
+// df int64, doc-sorted offset int64.
+const dirEntrySize = 24
+
+// magic identifies a serialized index.
+var magic = [4]byte{'H', 'S', 'I', 'X'}
+
+// TermMeta locates one term's posting list on the device.
+type TermMeta struct {
+	// Offset is the byte position of the list on the device.
+	Offset int64
+	// DF is the number of postings (document frequency).
+	DF int64
+}
+
+// Bytes returns the serialized list length.
+func (m TermMeta) Bytes() int64 { return m.DF * PostingSize }
+
+// Index is an immutable inverted index bound to a device.
+type Index struct {
+	dev      storage.Device
+	numDocs  int64
+	terms    []TermMeta // indexed by TermID
+	docTerms []DocMeta  // doc-sorted sections, indexed by TermID
+}
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// NumDocs returns the collection size the index was built over.
+func (ix *Index) NumDocs() int64 { return ix.numDocs }
+
+// Meta returns the directory entry for term t.
+func (ix *Index) Meta(t workload.TermID) TermMeta {
+	if int(t) < 0 || int(t) >= len(ix.terms) {
+		panic(fmt.Sprintf("index: term %d out of range [0,%d)", t, len(ix.terms)))
+	}
+	return ix.terms[t]
+}
+
+// ListBytes returns the serialized size of term t's list.
+func (ix *Index) ListBytes(t workload.TermID) int64 { return ix.Meta(t).Bytes() }
+
+// Device returns the backing device (for trace instrumentation).
+func (ix *Index) Device() storage.Device { return ix.dev }
+
+// EncodePosting serializes p into buf (len >= PostingSize).
+func EncodePosting(buf []byte, p workload.Posting) {
+	binary.LittleEndian.PutUint32(buf[0:4], p.Doc)
+	binary.LittleEndian.PutUint16(buf[4:6], p.TF)
+	binary.LittleEndian.PutUint16(buf[6:8], 0)
+}
+
+// DecodePosting deserializes one posting from buf.
+func DecodePosting(buf []byte) workload.Posting {
+	return workload.Posting{
+		Doc: binary.LittleEndian.Uint32(buf[0:4]),
+		TF:  binary.LittleEndian.Uint16(buf[4:6]),
+	}
+}
+
+// DecodePostings deserializes as many whole postings as buf holds.
+func DecodePostings(buf []byte) []workload.Posting {
+	n := len(buf) / PostingSize
+	out := make([]workload.Posting, n)
+	for i := 0; i < n; i++ {
+		out[i] = DecodePosting(buf[i*PostingSize:])
+	}
+	return out
+}
+
+// Build synthesizes the collection described by spec and serializes its
+// inverted index onto dev, returning the opened index. Lists are laid out
+// back-to-back after the header and directory, in term order, so building
+// is one long sequential write — the cheap bulk-load case on both device
+// types.
+//
+// Building charges device time on the shared clock like any other I/O; use
+// a dedicated clock when setup time should not pollute an experiment.
+func Build(dev storage.Device, spec workload.CollectionSpec) (*Index, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	terms := make([]TermMeta, spec.VocabSize)
+	docTerms := make([]DocMeta, spec.VocabSize)
+	off := int64(headerSize + dirEntrySize*spec.VocabSize)
+	for t := 0; t < spec.VocabSize; t++ {
+		df := int64(spec.DocFreq(workload.TermID(t)))
+		terms[t] = TermMeta{Offset: off, DF: df}
+		off += df * PostingSize
+	}
+	// Doc-sorted sections follow all impact-ordered lists.
+	for t := 0; t < spec.VocabSize; t++ {
+		docTerms[t] = DocMeta{Offset: off, DF: terms[t].DF}
+		off += DocSectionBytes(terms[t].DF)
+	}
+	if off > dev.Size() {
+		return nil, fmt.Errorf("index: needs %d bytes, device %q holds %d",
+			off, dev.Name(), dev.Size())
+	}
+
+	// Header + directory.
+	head := make([]byte, headerSize+dirEntrySize*spec.VocabSize)
+	copy(head[0:4], magic[:])
+	binary.LittleEndian.PutUint32(head[4:8], 2)
+	binary.LittleEndian.PutUint64(head[8:16], uint64(spec.VocabSize))
+	binary.LittleEndian.PutUint64(head[16:24], uint64(spec.NumDocs))
+	for t, m := range terms {
+		base := headerSize + t*dirEntrySize
+		binary.LittleEndian.PutUint64(head[base:base+8], uint64(m.Offset))
+		binary.LittleEndian.PutUint64(head[base+8:base+16], uint64(m.DF))
+		binary.LittleEndian.PutUint64(head[base+16:base+24], uint64(docTerms[t].Offset))
+	}
+	if _, err := dev.WriteAt(head, 0); err != nil {
+		return nil, fmt.Errorf("index: writing directory: %w", err)
+	}
+
+	// Posting lists, buffered into large sequential writes.
+	const flushSize = 1 << 20
+	buf := make([]byte, 0, flushSize+PostingSize)
+	writeOff := int64(len(head))
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := dev.WriteAt(buf, writeOff); err != nil {
+			return fmt.Errorf("index: writing lists: %w", err)
+		}
+		writeOff += int64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	var tmp [PostingSize]byte
+	for t := 0; t < spec.VocabSize; t++ {
+		for _, p := range spec.Postings(workload.TermID(t)) {
+			EncodePosting(tmp[:], p)
+			buf = append(buf, tmp[:]...)
+			if len(buf) >= flushSize {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	// Doc-sorted sections with skip tables.
+	for t := 0; t < spec.VocabSize; t++ {
+		if _, err := buildDocSection(dev, docTerms[t].Offset, spec.Postings(workload.TermID(t))); err != nil {
+			return nil, fmt.Errorf("index: writing doc-sorted section: %w", err)
+		}
+	}
+	return &Index{dev: dev, numDocs: int64(spec.NumDocs), terms: terms, docTerms: docTerms}, nil
+}
+
+// Open loads an index previously built on dev by reading its header and
+// directory.
+func Open(dev storage.Device) (*Index, error) {
+	head := make([]byte, headerSize)
+	if _, err := dev.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("index: reading header: %w", err)
+	}
+	if [4]byte(head[0:4]) != magic {
+		return nil, fmt.Errorf("index: bad magic %q on %q", head[0:4], dev.Name())
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != 2 {
+		return nil, fmt.Errorf("index: unsupported version %d", v)
+	}
+	numTerms := int(binary.LittleEndian.Uint64(head[8:16]))
+	numDocs := int64(binary.LittleEndian.Uint64(head[16:24]))
+	dir := make([]byte, dirEntrySize*numTerms)
+	if _, err := dev.ReadAt(dir, headerSize); err != nil {
+		return nil, fmt.Errorf("index: reading directory: %w", err)
+	}
+	terms := make([]TermMeta, numTerms)
+	docTerms := make([]DocMeta, numTerms)
+	for t := range terms {
+		base := t * dirEntrySize
+		terms[t] = TermMeta{
+			Offset: int64(binary.LittleEndian.Uint64(dir[base : base+8])),
+			DF:     int64(binary.LittleEndian.Uint64(dir[base+8 : base+16])),
+		}
+		docTerms[t] = DocMeta{
+			Offset: int64(binary.LittleEndian.Uint64(dir[base+16 : base+24])),
+			DF:     terms[t].DF,
+		}
+	}
+	return &Index{dev: dev, numDocs: numDocs, terms: terms, docTerms: docTerms}, nil
+}
+
+// RequiredBytes returns the device capacity needed to hold spec's index
+// (impact-ordered lists plus doc-sorted sections with skip tables).
+func RequiredBytes(spec workload.CollectionSpec) int64 {
+	total := int64(headerSize + dirEntrySize*spec.VocabSize)
+	for t := 0; t < spec.VocabSize; t++ {
+		df := int64(spec.DocFreq(workload.TermID(t)))
+		total += df*PostingSize + DocSectionBytes(df)
+	}
+	return total
+}
+
+// ReadListRange reads n bytes of term t's list starting at byte offset off
+// within the list, directly from the device. It is the uncached list-read
+// path; the cache hierarchy wraps it.
+func (ix *Index) ReadListRange(t workload.TermID, off int64, p []byte) error {
+	m := ix.Meta(t)
+	if off < 0 || off+int64(len(p)) > m.Bytes() {
+		return fmt.Errorf("index: term %d range [%d,+%d) outside list of %d bytes: %w",
+			t, off, len(p), m.Bytes(), storage.ErrOutOfRange)
+	}
+	_, err := ix.dev.ReadAt(p, m.Offset+off)
+	return err
+}

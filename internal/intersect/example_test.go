@@ -1,0 +1,39 @@
+package intersect_test
+
+import (
+	"fmt"
+
+	"hybridstore/internal/intersect"
+	"hybridstore/internal/workload"
+)
+
+// ExampleIntersect shows the reference intersection of two doc-ascending
+// posting lists, keeping both term frequencies for scoring.
+func ExampleIntersect() {
+	a := []workload.Posting{{Doc: 1, TF: 9}, {Doc: 4, TF: 3}, {Doc: 9, TF: 2}}
+	b := []workload.Posting{{Doc: 4, TF: 5}, {Doc: 8, TF: 1}, {Doc: 9, TF: 7}}
+	for _, p := range intersect.Intersect(a, b) {
+		fmt.Printf("doc=%d tfA=%d tfB=%d\n", p.Doc, p.TFA, p.TFB)
+	}
+	// Output:
+	// doc=4 tfA=3 tfB=5
+	// doc=9 tfA=2 tfB=7
+}
+
+// ExampleCache shows the pair cache's hit/miss behaviour.
+func ExampleCache() {
+	c := intersect.New(1<<16, nil)
+	pair := intersect.MakePair(7, 3) // canonicalized to (3, 7)
+	if _, ok := c.Get(pair); !ok {
+		fmt.Println("miss")
+	}
+	c.Put(pair, []intersect.Posting{{Doc: 12, TFA: 1, TFB: 2}})
+	if ip, ok := c.Get(pair); ok {
+		fmt.Printf("hit: %d docs\n", len(ip))
+	}
+	fmt.Printf("hit ratio %.2f\n", c.Stats().HitRatio())
+	// Output:
+	// miss
+	// hit: 1 docs
+	// hit ratio 0.50
+}

@@ -1,0 +1,172 @@
+package intersect
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hybridstore/internal/workload"
+)
+
+func TestMakePairCanonical(t *testing.T) {
+	if MakePair(5, 2) != MakePair(2, 5) {
+		t.Fatal("pair not canonical")
+	}
+	p := MakePair(9, 3)
+	if p.A != 3 || p.B != 9 {
+		t.Fatalf("pair = %+v", p)
+	}
+}
+
+func TestMakePairSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self pair did not panic")
+		}
+	}()
+	MakePair(4, 4)
+}
+
+func TestIntersectReference(t *testing.T) {
+	a := []workload.Posting{{Doc: 1, TF: 10}, {Doc: 3, TF: 8}, {Doc: 5, TF: 2}, {Doc: 9, TF: 1}}
+	b := []workload.Posting{{Doc: 2, TF: 7}, {Doc: 3, TF: 6}, {Doc: 9, TF: 4}, {Doc: 11, TF: 3}}
+	got := Intersect(a, b)
+	want := []Posting{{Doc: 3, TFA: 8, TFB: 6}, {Doc: 9, TFA: 1, TFB: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntersectEmptyCases(t *testing.T) {
+	if len(Intersect(nil, nil)) != 0 {
+		t.Fatal("nil intersect not empty")
+	}
+	a := []workload.Posting{{Doc: 1}}
+	if len(Intersect(a, nil)) != 0 || len(Intersect(nil, a)) != 0 {
+		t.Fatal("one-sided intersect not empty")
+	}
+}
+
+func TestIntersectProperty(t *testing.T) {
+	// Property: the intersection contains exactly the docs present in
+	// both inputs.
+	f := func(rawA, rawB []uint16) bool {
+		mk := func(raw []uint16) []workload.Posting {
+			seen := map[uint32]bool{}
+			var out []workload.Posting
+			for _, r := range raw {
+				d := uint32(r % 512)
+				if !seen[d] {
+					seen[d] = true
+					out = append(out, workload.Posting{Doc: d, TF: uint16(d%7 + 1)})
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].Doc < out[j].Doc })
+			return out
+		}
+		a, b := mk(rawA), mk(rawB)
+		got := Intersect(a, b)
+		inA := map[uint32]bool{}
+		for _, p := range a {
+			inA[p.Doc] = true
+		}
+		want := map[uint32]bool{}
+		for _, p := range b {
+			if inA[p.Doc] {
+				want[p.Doc] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, p := range got {
+			if !want[p.Doc] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachePutGet(t *testing.T) {
+	var charged int
+	c := New(1<<20, func(n int) { charged += n })
+	pair := MakePair(1, 2)
+	data := []Posting{{Doc: 3, TFA: 1, TFB: 2}}
+	if !c.Put(pair, data) {
+		t.Fatal("put failed")
+	}
+	got, ok := c.Get(pair)
+	if !ok || len(got) != 1 || got[0] != data[0] {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	if charged == 0 {
+		t.Fatal("charge callback never invoked")
+	}
+	if _, ok := c.Get(MakePair(1, 3)); ok {
+		t.Fatal("phantom hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %v", s.HitRatio())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := New(64, nil) // fits 8 single-posting entries
+	for i := 0; i < 12; i++ {
+		c.Put(MakePair(workload.TermID(i), workload.TermID(i+100)),
+			[]Posting{{Doc: uint32(i)}})
+	}
+	if _, ok := c.Get(MakePair(0, 100)); ok {
+		t.Fatal("oldest pair survived past capacity")
+	}
+	if _, ok := c.Get(MakePair(11, 111)); !ok {
+		t.Fatal("newest pair evicted")
+	}
+}
+
+func TestCacheEmptyIntersectionCached(t *testing.T) {
+	c := New(1<<10, nil)
+	pair := MakePair(7, 9)
+	if !c.Put(pair, nil) {
+		t.Fatal("empty intersection rejected")
+	}
+	got, ok := c.Get(pair)
+	if !ok || len(got) != 0 {
+		t.Fatal("empty intersection not served")
+	}
+}
+
+func TestCacheRejectsOversized(t *testing.T) {
+	c := New(1<<10, nil) // quarter = 256 bytes = 32 postings
+	big := make([]Posting, 100)
+	if c.Put(MakePair(1, 2), big) {
+		t.Fatal("oversized intersection accepted")
+	}
+}
+
+func TestCacheReplaceSamePair(t *testing.T) {
+	c := New(1<<10, nil)
+	pair := MakePair(1, 2)
+	c.Put(pair, []Posting{{Doc: 1}})
+	c.Put(pair, []Posting{{Doc: 2}, {Doc: 3}})
+	got, _ := c.Get(pair)
+	if len(got) != 2 || got[0].Doc != 2 {
+		t.Fatalf("replace failed: %v", got)
+	}
+	if c.Stats().Entries != 1 {
+		t.Fatal("duplicate entries after replace")
+	}
+}

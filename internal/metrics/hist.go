@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram buckets integer-valued observations (sizes, counts, ranks) into
+// caller-defined boundaries. Bucket i covers values v with
+// bounds[i-1] < v <= bounds[i]; an implicit final bucket catches everything
+// above the last bound.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64
+	counts []int64
+	total  int64
+	sum    int64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. It panics if bounds is empty or not strictly ascending.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	cp := make([]int64, len(bounds))
+	copy(cp, bounds)
+	return &Histogram{bounds: cp, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[idx]++
+	h.total++
+	h.sum += v
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the arithmetic mean of the observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Buckets returns a copy of (upper bound, count) pairs; the final pair has
+// bound -1 meaning "overflow" (values above the last bound).
+type Bucket struct {
+	UpperBound int64 // -1 for the overflow bucket
+	Count      int64
+}
+
+// Buckets returns the current bucket contents.
+func (h *Histogram) Buckets() []Bucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Bucket, 0, len(h.counts))
+	for i, c := range h.counts {
+		b := int64(-1)
+		if i < len(h.bounds) {
+			b = h.bounds[i]
+		}
+		out = append(out, Bucket{UpperBound: b, Count: c})
+	}
+	return out
+}
+
+// String renders the histogram one bucket per line.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	for _, b := range h.Buckets() {
+		if b.UpperBound < 0 {
+			fmt.Fprintf(&sb, "  >last: %d\n", b.Count)
+		} else {
+			fmt.Fprintf(&sb, "  <=%d: %d\n", b.UpperBound, b.Count)
+		}
+	}
+	return sb.String()
+}
+
+// Table formats experiment output rows with aligned columns. It is the one
+// formatter shared by every benchmark harness so the printed tables look
+// identical across experiments.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; each cell is rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, hkr := range t.header {
+		widths[i] = len(hkr)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(cells)-1 {
+				for p := len(cell); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimeSeries collects (simulated time, value) samples and renders them as
+// experiment output — the machinery behind Fig 19-style curves, where a
+// quantity is checkpointed as the run progresses.
+type TimeSeries struct {
+	mu      sync.Mutex
+	name    string
+	samples []TimePoint
+}
+
+// TimePoint is one sample.
+type TimePoint struct {
+	At    time.Duration
+	Value float64
+}
+
+// NewTimeSeries creates a named, empty series.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{name: name}
+}
+
+// Name returns the series name.
+func (s *TimeSeries) Name() string { return s.name }
+
+// Record appends one sample. Samples should arrive in non-decreasing time
+// order; out-of-order samples are rejected with a panic, since simulated
+// time is monotone and disorder means a driver bug.
+func (s *TimeSeries) Record(at time.Duration, value float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.samples); n > 0 && at < s.samples[n-1].At {
+		panic(fmt.Sprintf("metrics: time series %q sample at %v after %v",
+			s.name, at, s.samples[n-1].At))
+	}
+	s.samples = append(s.samples, TimePoint{At: at, Value: value})
+}
+
+// Len returns the sample count.
+func (s *TimeSeries) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Samples returns a copy of the series.
+func (s *TimeSeries) Samples() []TimePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]TimePoint, len(s.samples))
+	copy(cp, s.samples)
+	return cp
+}
+
+// Last returns the most recent sample, or a zero point when empty.
+func (s *TimeSeries) Last() TimePoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return TimePoint{}
+	}
+	return s.samples[len(s.samples)-1]
+}
+
+// Delta returns the value change between the first and last samples.
+func (s *TimeSeries) Delta() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) < 2 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1].Value - s.samples[0].Value
+}
+
+// Rate returns the mean value change per second of simulated time across
+// the series, or 0 when undefined.
+func (s *TimeSeries) Rate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) < 2 {
+		return 0
+	}
+	first, last := s.samples[0], s.samples[len(s.samples)-1]
+	span := (last.At - first.At).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return (last.Value - first.Value) / span
+}
+
+// String renders the series one "time value" row per line.
+func (s *TimeSeries) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", s.name)
+	for _, p := range s.Samples() {
+		fmt.Fprintf(&sb, "%.3f %.3f\n", p.At.Seconds(), p.Value)
+	}
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesRecordAndAccess(t *testing.T) {
+	s := NewTimeSeries("erases")
+	if s.Name() != "erases" || s.Len() != 0 {
+		t.Fatal("fresh series wrong")
+	}
+	s.Record(time.Second, 10)
+	s.Record(2*time.Second, 30)
+	s.Record(2*time.Second, 35) // equal timestamps allowed
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if last := s.Last(); last.Value != 35 || last.At != 2*time.Second {
+		t.Fatalf("Last = %+v", last)
+	}
+	if d := s.Delta(); d != 25 {
+		t.Fatalf("Delta = %v", d)
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	s := NewTimeSeries("bytes")
+	s.Record(0, 0)
+	s.Record(2*time.Second, 100)
+	if r := s.Rate(); r != 50 {
+		t.Fatalf("Rate = %v", r)
+	}
+	empty := NewTimeSeries("x")
+	if empty.Rate() != 0 || empty.Delta() != 0 {
+		t.Fatal("empty series rate/delta not 0")
+	}
+	one := NewTimeSeries("y")
+	one.Record(time.Second, 5)
+	if one.Rate() != 0 {
+		t.Fatal("single-sample rate not 0")
+	}
+}
+
+func TestTimeSeriesMonotonePanics(t *testing.T) {
+	s := NewTimeSeries("x")
+	s.Record(2*time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order sample accepted")
+		}
+	}()
+	s.Record(time.Second, 2)
+}
+
+func TestTimeSeriesSamplesCopy(t *testing.T) {
+	s := NewTimeSeries("x")
+	s.Record(time.Second, 1)
+	cp := s.Samples()
+	cp[0].Value = 99
+	if s.Last().Value != 1 {
+		t.Fatal("Samples returned a live reference")
+	}
+}
+
+func TestTimeSeriesString(t *testing.T) {
+	s := NewTimeSeries("wear")
+	s.Record(1500*time.Millisecond, 42)
+	out := s.String()
+	if !strings.Contains(out, "# wear") || !strings.Contains(out, "1.500 42.000") {
+		t.Fatalf("String = %q", out)
+	}
+}

@@ -1,0 +1,97 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock at %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := New()
+	if got := c.Advance(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("Advance returned %v, want 5ms", got)
+	}
+	c.Advance(20 * time.Microsecond)
+	want := 5*time.Millisecond + 20*time.Microsecond
+	if got := c.Now(); got != want {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}
+
+func TestClockAdvanceZeroIsNoop(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Advance(0)
+	if got := c.Now(); got != time.Second {
+		t.Fatalf("Now = %v, want 1s", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	New().Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	if got := c.AdvanceTo(500 * time.Millisecond); got != time.Second {
+		t.Fatalf("AdvanceTo backwards moved clock to %v", got)
+	}
+	if got := c.AdvanceTo(2 * time.Second); got != 2*time.Second {
+		t.Fatalf("AdvanceTo(2s) = %v", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Hour)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("after Reset, Now = %v", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := New()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*perWorker*time.Nanosecond {
+		t.Fatalf("Now = %v, want %v", got, workers*perWorker*time.Nanosecond)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	sw := StartStopwatch(c)
+	c.Advance(3 * time.Millisecond)
+	if got := sw.Elapsed(); got != 3*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 3ms", got)
+	}
+	c.Advance(time.Millisecond)
+	if got := sw.Elapsed(); got != 4*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 4ms", got)
+	}
+}

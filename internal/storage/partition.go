@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// Partition exposes a contiguous byte range of a parent device as a
+// Device of its own. The cache manager's result and list regions, and any
+// experiment that wants several logical volumes on one simulated drive,
+// can address [0, Size) without repeating base-offset arithmetic. All
+// timing and wear remain the parent's.
+type Partition struct {
+	parent Device
+	name   string
+	base   int64
+	size   int64
+}
+
+// NewPartition carves [base, base+size) out of parent. It panics when the
+// range does not fit — partitioning is setup code, and a bad layout should
+// fail immediately.
+func NewPartition(name string, parent Device, base, size int64) *Partition {
+	if base < 0 || size <= 0 || base+size > parent.Size() {
+		panic(fmt.Sprintf("storage: partition %q [%d,+%d) outside parent %q of %d bytes",
+			name, base, size, parent.Name(), parent.Size()))
+	}
+	return &Partition{parent: parent, name: name, base: base, size: size}
+}
+
+// Name implements Device.
+func (p *Partition) Name() string { return p.name }
+
+// Size implements Device.
+func (p *Partition) Size() int64 { return p.size }
+
+// Parent returns the underlying device.
+func (p *Partition) Parent() Device { return p.parent }
+
+// ReadAt implements Device.
+func (p *Partition) ReadAt(buf []byte, off int64) (time.Duration, error) {
+	if err := CheckRange(p.name, p.size, off, len(buf)); err != nil {
+		return 0, err
+	}
+	return p.parent.ReadAt(buf, p.base+off)
+}
+
+// WriteAt implements Device.
+func (p *Partition) WriteAt(buf []byte, off int64) (time.Duration, error) {
+	if err := CheckRange(p.name, p.size, off, len(buf)); err != nil {
+		return 0, err
+	}
+	return p.parent.WriteAt(buf, p.base+off)
+}
+
+// Trim implements Trimmer when the parent supports it; otherwise it is a
+// zero-cost no-op.
+func (p *Partition) Trim(off, n int64) (time.Duration, error) {
+	if err := CheckRange(p.name, p.size, off, int(n)); err != nil {
+		return 0, err
+	}
+	if t, ok := p.parent.(Trimmer); ok {
+		return t.Trim(p.base+off, n)
+	}
+	return 0, nil
+}

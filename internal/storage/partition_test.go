@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hybridstore/internal/simclock"
+)
+
+func TestPartitionReadWriteOffsets(t *testing.T) {
+	clk := simclock.New()
+	parent := NewMemDevice("disk", 1<<20, clk, DefaultMemParams())
+	part := NewPartition("p1", parent, 4096, 8192)
+
+	data := []byte("partitioned")
+	if _, err := part.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Visible through the parent at base+offset.
+	got := make([]byte, len(data))
+	parent.ReadAt(got, 4096+100)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("parent sees %q", got)
+	}
+	// And through the partition at its own offset.
+	got2 := make([]byte, len(data))
+	if _, err := part.ReadAt(got2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatalf("partition reads %q", got2)
+	}
+}
+
+func TestPartitionBounds(t *testing.T) {
+	parent := NewMemDevice("disk", 1<<20, simclock.New(), DefaultMemParams())
+	part := NewPartition("p1", parent, 0, 1024)
+	if _, err := part.ReadAt(make([]byte, 10), 1020); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read past partition end: %v", err)
+	}
+	if _, err := part.WriteAt(make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative write: %v", err)
+	}
+	if part.Size() != 1024 || part.Name() != "p1" || part.Parent() != parent {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestPartitionLayoutValidation(t *testing.T) {
+	parent := NewMemDevice("disk", 1024, simclock.New(), DefaultMemParams())
+	for _, c := range []struct{ base, size int64 }{
+		{-1, 10}, {0, 0}, {1000, 100}, {0, 1025},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("partition (%d,%d) accepted", c.base, c.size)
+				}
+			}()
+			NewPartition("bad", parent, c.base, c.size)
+		}()
+	}
+}
+
+func TestPartitionTrimNoopWithoutSupport(t *testing.T) {
+	parent := NewMemDevice("disk", 1024, simclock.New(), DefaultMemParams())
+	part := NewPartition("p", parent, 0, 512)
+	lat, err := part.Trim(0, 256)
+	if err != nil || lat != 0 {
+		t.Fatalf("trim on non-trimmer: %v, %v", lat, err)
+	}
+	if _, err := part.Trim(0, 1024); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("oversize trim: %v", err)
+	}
+}
+
+func TestPartitionChargesParentClock(t *testing.T) {
+	clk := simclock.New()
+	parent := NewMemDevice("disk", 1<<20, clk, DefaultMemParams())
+	part := NewPartition("p", parent, 1000, 1000)
+	before := clk.Now()
+	part.ReadAt(make([]byte, 100), 0)
+	if clk.Now() == before {
+		t.Fatal("partition read charged no time")
+	}
+}

@@ -1,0 +1,348 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hybridstore/internal/simclock"
+)
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{OpRead: "read", OpWrite: "write", OpTrim: "trim", OpErase: "erase"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := OpKind(99).String(); got != "opkind(99)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	if err := CheckRange("d", 100, 0, 100); err != nil {
+		t.Errorf("full-range access rejected: %v", err)
+	}
+	for _, c := range []struct{ off, n int64 }{{-1, 1}, {0, 101}, {100, 1}, {50, -1}} {
+		err := CheckRange("d", 100, c.off, int(c.n))
+		if !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("CheckRange(%d,%d) = %v, want ErrOutOfRange", c.off, c.n, err)
+		}
+	}
+}
+
+func TestSparseBufferReadBack(t *testing.T) {
+	b := NewSparseBuffer(1 << 20)
+	data := []byte("hello, sparse world")
+	b.WriteAt(data, 12345)
+	got := make([]byte, len(data))
+	b.ReadAt(got, 12345)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q, want %q", got, data)
+	}
+}
+
+func TestSparseBufferZeroFill(t *testing.T) {
+	b := NewSparseBuffer(1 << 20)
+	got := make([]byte, 64)
+	b.ReadAt(got, 500000)
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("unwritten region not zero")
+		}
+	}
+}
+
+func TestSparseBufferCrossChunk(t *testing.T) {
+	b := NewSparseBuffer(1 << 20)
+	data := make([]byte, 300<<10) // spans three 128 KiB chunks
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	off := int64(sparseChunkSize - 100)
+	b.WriteAt(data, off)
+	got := make([]byte, len(data))
+	b.ReadAt(got, off)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-chunk read mismatch")
+	}
+}
+
+func TestSparseBufferZeroReleasesChunks(t *testing.T) {
+	b := NewSparseBuffer(1 << 20)
+	data := make([]byte, sparseChunkSize)
+	b.WriteAt(data, 0)
+	if b.AllocatedBytes() == 0 {
+		t.Fatal("write did not allocate")
+	}
+	b.Zero(0, sparseChunkSize)
+	if b.AllocatedBytes() != 0 {
+		t.Fatal("Zero of whole chunk did not release it")
+	}
+}
+
+func TestSparseBufferPartialZero(t *testing.T) {
+	b := NewSparseBuffer(1 << 20)
+	b.WriteAt([]byte{1, 2, 3, 4}, 10)
+	b.Zero(11, 2)
+	got := make([]byte, 4)
+	b.ReadAt(got, 10)
+	if !bytes.Equal(got, []byte{1, 0, 0, 4}) {
+		t.Fatalf("partial zero wrong: %v", got)
+	}
+}
+
+func TestSparseBufferRoundTripProperty(t *testing.T) {
+	f := func(data []byte, offRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		b := NewSparseBuffer(1 << 20)
+		off := int64(offRaw)
+		b.WriteAt(data, off)
+		got := make([]byte, len(data))
+		b.ReadAt(got, off)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemDeviceReadWrite(t *testing.T) {
+	clk := simclock.New()
+	d := NewMemDevice("mem", 1<<20, clk, DefaultMemParams())
+	data := []byte("abcdef")
+	wlat, err := d.WriteAt(data, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wlat <= 0 {
+		t.Fatal("write latency not positive")
+	}
+	got := make([]byte, len(data))
+	rlat, err := d.ReadAt(got, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %q", got)
+	}
+	if clk.Now() != wlat+rlat {
+		t.Fatalf("clock %v != %v", clk.Now(), wlat+rlat)
+	}
+}
+
+func TestMemDeviceOutOfRange(t *testing.T) {
+	d := NewMemDevice("mem", 100, simclock.New(), DefaultMemParams())
+	if _, err := d.ReadAt(make([]byte, 10), 95); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.WriteAt(make([]byte, 10), 95); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemDeviceStatsAndHook(t *testing.T) {
+	d := NewMemDevice("mem", 1<<20, simclock.New(), DefaultMemParams())
+	var ops []Op
+	d.SetOpHook(func(op Op) { ops = append(ops, op) })
+	d.WriteAt(make([]byte, 10), 0)
+	d.ReadAt(make([]byte, 5), 0)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.BytesRead != 5 || s.BytesWrit != 10 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if s.Operations != 2 || s.TotalTime <= 0 {
+		t.Fatalf("totals wrong: %+v", s)
+	}
+	if len(ops) != 2 || ops[0].Kind != OpWrite || ops[1].Kind != OpRead {
+		t.Fatalf("hook saw %+v", ops)
+	}
+	if s.AvgAccessTime() <= 0 {
+		t.Fatal("AvgAccessTime not positive")
+	}
+}
+
+func TestMemDeviceLatencyScalesWithSize(t *testing.T) {
+	clk := simclock.New()
+	d := NewMemDevice("mem", 1<<24, clk, DefaultMemParams())
+	small, _ := d.ReadAt(make([]byte, 1), 0)
+	large, _ := d.ReadAt(make([]byte, 1<<20), 0)
+	if large <= small {
+		t.Fatalf("1 MiB read (%v) not slower than 1 B read (%v)", large, small)
+	}
+}
+
+func TestDeviceStatsAvgEmptyZero(t *testing.T) {
+	var s DeviceStats
+	if s.AvgAccessTime() != 0 {
+		t.Fatal("empty stats avg != 0")
+	}
+}
+
+func TestAllocatorFirstFit(t *testing.T) {
+	a := NewAllocator(1000)
+	off1, ok := a.Alloc(100)
+	if !ok || off1 != 0 {
+		t.Fatalf("first alloc at %d ok=%v", off1, ok)
+	}
+	off2, ok := a.Alloc(200)
+	if !ok || off2 != 100 {
+		t.Fatalf("second alloc at %d ok=%v", off2, ok)
+	}
+	if a.FreeBytes() != 700 {
+		t.Fatalf("FreeBytes = %d", a.FreeBytes())
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := NewAllocator(100)
+	if _, ok := a.Alloc(101); ok {
+		t.Fatal("oversized alloc succeeded")
+	}
+	a.Alloc(100)
+	if _, ok := a.Alloc(1); ok {
+		t.Fatal("alloc from empty pool succeeded")
+	}
+}
+
+func TestAllocatorFreeCoalesces(t *testing.T) {
+	a := NewAllocator(300)
+	o1, _ := a.Alloc(100)
+	o2, _ := a.Alloc(100)
+	o3, _ := a.Alloc(100)
+	a.Free(o1, 100)
+	a.Free(o3, 100)
+	if a.FragmentCount() != 2 {
+		t.Fatalf("fragments = %d, want 2", a.FragmentCount())
+	}
+	a.Free(o2, 100)
+	if a.FragmentCount() != 1 {
+		t.Fatalf("fragments after middle free = %d, want 1", a.FragmentCount())
+	}
+	if a.LargestFree() != 300 {
+		t.Fatalf("LargestFree = %d", a.LargestFree())
+	}
+}
+
+func TestAllocatorDoubleFreePanics(t *testing.T) {
+	a := NewAllocator(100)
+	off, _ := a.Alloc(50)
+	a.Free(off, 50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(off, 50)
+}
+
+func TestAllocatorAligned(t *testing.T) {
+	a := NewAllocator(10000)
+	a.Alloc(100) // misalign the free pool
+	off, ok := a.AllocAligned(256, 512)
+	if !ok {
+		t.Fatal("aligned alloc failed")
+	}
+	if off%512 != 0 {
+		t.Fatalf("offset %d not 512-aligned", off)
+	}
+	// The padding before the aligned extent stays allocatable.
+	padOff, ok := a.Alloc(10)
+	if !ok || padOff != 100 {
+		t.Fatalf("padding alloc at %d ok=%v, want 100", padOff, ok)
+	}
+}
+
+func TestAllocatorFragmentationBlocksLargeAlloc(t *testing.T) {
+	a := NewAllocator(300)
+	o1, _ := a.Alloc(100)
+	_, _ = a.Alloc(100)
+	o3, _ := a.Alloc(100)
+	a.Free(o1, 100)
+	a.Free(o3, 100)
+	if a.FreeBytes() != 200 {
+		t.Fatalf("FreeBytes = %d", a.FreeBytes())
+	}
+	if _, ok := a.Alloc(150); ok {
+		t.Fatal("allocation across fragments should fail")
+	}
+}
+
+func TestAllocatorReserve(t *testing.T) {
+	a := NewAllocator(1000)
+	if !a.Reserve(100, 200) {
+		t.Fatal("reserve of free range failed")
+	}
+	if a.FreeBytes() != 800 {
+		t.Fatalf("FreeBytes = %d", a.FreeBytes())
+	}
+	if a.Reserve(150, 50) {
+		t.Fatal("overlapping reserve succeeded")
+	}
+	if a.Reserve(900, 200) {
+		t.Fatal("out-of-range reserve succeeded")
+	}
+	// The split remainders are still allocatable and coalesce on free.
+	if off, ok := a.Alloc(100); !ok || off != 0 {
+		t.Fatalf("pre-gap alloc at %d ok=%v", off, ok)
+	}
+	a.Free(100, 200)
+	a.Free(0, 100)
+	if a.FragmentCount() != 1 || a.FreeBytes() != 1000 {
+		t.Fatalf("after frees: frags=%d free=%d", a.FragmentCount(), a.FreeBytes())
+	}
+}
+
+func TestAllocatorReserveExactExtent(t *testing.T) {
+	a := NewAllocator(100)
+	if !a.Reserve(0, 100) {
+		t.Fatal("whole-space reserve failed")
+	}
+	if _, ok := a.Alloc(1); ok {
+		t.Fatal("alloc succeeded after full reserve")
+	}
+}
+
+func TestAllocatorProperty(t *testing.T) {
+	// Property: after any sequence of allocs and frees, FreeBytes plus the
+	// sum of live extents equals the managed size.
+	f := func(ops []uint16) bool {
+		const size = 1 << 16
+		a := NewAllocator(size)
+		type ext struct{ off, n int64 }
+		var live []ext
+		var liveBytes int64
+		for _, raw := range ops {
+			if raw%2 == 0 || len(live) == 0 {
+				n := int64(raw%1024) + 1
+				if off, ok := a.Alloc(n); ok {
+					live = append(live, ext{off, n})
+					liveBytes += n
+				}
+			} else {
+				i := int(raw) % len(live)
+				a.Free(live[i].off, live[i].n)
+				liveBytes -= live[i].n
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return a.FreeBytes()+liveBytes == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemParamsDefaults(t *testing.T) {
+	clk := simclock.New()
+	d := NewMemDevice("m", 1024, clk, MemParams{})
+	lat, err := d.ReadAt(make([]byte, 1), 0)
+	if err != nil || lat < 100*time.Nanosecond {
+		t.Fatalf("defaulted device lat=%v err=%v", lat, err)
+	}
+}

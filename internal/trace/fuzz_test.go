@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSPC checks the SPC parser never panics and that whatever it
+// accepts converts to well-formed ops.
+func FuzzParseSPC(f *testing.F) {
+	f.Add("0,100,8192,R,0.5\n1,200,4096,w,1.25\n")
+	f.Add("# comment only\n")
+	f.Add("0,100,8192,R")
+	f.Add("0,-1,8192,R,0")
+	f.Add(",,,,,")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ParseSPC(strings.NewReader(input), 1000)
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			if r.LBA < 0 || r.Size < 0 || r.Timestamp < 0 {
+				t.Fatalf("parser accepted negative fields: %+v", r)
+			}
+			op := r.Op()
+			if op.Offset != r.LBA*SectorSize || op.Len != r.Size {
+				t.Fatalf("Op conversion inconsistent: %+v -> %+v", r, op)
+			}
+		}
+	})
+}

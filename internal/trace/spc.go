@@ -1,0 +1,148 @@
+package trace
+
+// SPC-1 trace format support. The UMass Trace Repository's WebSearch
+// traces — the paper's Fig 1(a) source — are distributed in SPC format:
+//
+//	ASU,LBA,size,opcode,timestamp[,extra...]
+//
+// one request per line, with LBA in 512-byte sectors, size in bytes,
+// opcode r/R for reads and w/W for writes, and the timestamp in seconds.
+// ParseSPC lets the analyzers and the replayer run on the real traces the
+// paper used; WriteSPC exports simulated traces for external tooling.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybridstore/internal/storage"
+)
+
+// SPCRecord is one parsed SPC trace line.
+type SPCRecord struct {
+	// ASU is the application-specific unit (logical volume) number.
+	ASU int
+	// LBA is the logical block address in 512-byte sectors.
+	LBA int64
+	// Size is the request size in bytes.
+	Size int
+	// Write is true for w/W opcodes.
+	Write bool
+	// Timestamp is the request's offset from the trace start.
+	Timestamp time.Duration
+}
+
+// Op converts the record to a device operation.
+func (r SPCRecord) Op() storage.Op {
+	kind := storage.OpRead
+	if r.Write {
+		kind = storage.OpWrite
+	}
+	return storage.Op{
+		Device: fmt.Sprintf("asu%d", r.ASU),
+		Kind:   kind,
+		Offset: r.LBA * SectorSize,
+		Len:    r.Size,
+	}
+}
+
+// ParseSPC reads an SPC-format trace. Blank lines and lines starting with
+// '#' are skipped. Parsing stops at EOF or limit records (0 = unlimited).
+func ParseSPC(r io.Reader, limit int) ([]SPCRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	var out []SPCRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseSPCLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: SPC line %d: %w", lineNo, err)
+		}
+		out = append(out, rec)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading SPC input: %w", err)
+	}
+	return out, nil
+}
+
+func parseSPCLine(line string) (SPCRecord, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) < 5 {
+		return SPCRecord{}, fmt.Errorf("want >=5 comma fields, got %d", len(fields))
+	}
+	asu, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return SPCRecord{}, fmt.Errorf("ASU %q: %v", fields[0], err)
+	}
+	lba, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+	if err != nil || lba < 0 {
+		return SPCRecord{}, fmt.Errorf("LBA %q invalid", fields[1])
+	}
+	size, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+	if err != nil || size < 0 {
+		return SPCRecord{}, fmt.Errorf("size %q invalid", fields[2])
+	}
+	op := strings.TrimSpace(fields[3])
+	var write bool
+	switch op {
+	case "r", "R":
+		write = false
+	case "w", "W":
+		write = true
+	default:
+		return SPCRecord{}, fmt.Errorf("opcode %q not r/R/w/W", op)
+	}
+	ts, err := strconv.ParseFloat(strings.TrimSpace(fields[4]), 64)
+	if err != nil || ts < 0 {
+		return SPCRecord{}, fmt.Errorf("timestamp %q invalid", fields[4])
+	}
+	return SPCRecord{
+		ASU:       asu,
+		LBA:       lba,
+		Size:      size,
+		Write:     write,
+		Timestamp: time.Duration(ts * float64(time.Second)),
+	}, nil
+}
+
+// WriteSPC serializes ops in SPC format, one per line, synthesizing
+// timestamps from the ops' cumulative latencies (0 when absent).
+func WriteSPC(w io.Writer, ops []storage.Op) error {
+	bw := bufio.NewWriter(w)
+	var elapsed time.Duration
+	for _, op := range ops {
+		code := "r"
+		if op.Kind == storage.OpWrite {
+			code = "w"
+		} else if op.Kind != storage.OpRead {
+			continue // trims/erases have no SPC representation
+		}
+		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
+			op.Offset/SectorSize, op.Len, code, elapsed.Seconds()); err != nil {
+			return err
+		}
+		elapsed += op.Latency
+	}
+	return bw.Flush()
+}
+
+// SPCOps converts parsed records to device operations in trace order.
+func SPCOps(records []SPCRecord) []storage.Op {
+	out := make([]storage.Op, len(records))
+	for i, r := range records {
+		out[i] = r.Op()
+	}
+	return out
+}

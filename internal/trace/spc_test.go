@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridstore/internal/storage"
+)
+
+const sampleSPC = `# UMass WebSearch-like sample
+0,303567,8192,R,0.011413
+0,1055948,8192,R,0.011413
+1,33connector,8192,R,0.0
+`
+
+func TestParseSPCBasic(t *testing.T) {
+	in := "0,100,8192,R,0.5\n1,200,4096,w,1.25\n\n# comment\n0,300,512,r,2.0\n"
+	recs, err := ParseSPC(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records", len(recs))
+	}
+	if recs[0].ASU != 0 || recs[0].LBA != 100 || recs[0].Size != 8192 || recs[0].Write {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if !recs[1].Write || recs[1].Timestamp != 1250*time.Millisecond {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+}
+
+func TestParseSPCLimit(t *testing.T) {
+	in := "0,1,512,r,0\n0,2,512,r,0\n0,3,512,r,0\n"
+	recs, err := ParseSPC(strings.NewReader(in), 2)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("limit: %d records, %v", len(recs), err)
+	}
+}
+
+func TestParseSPCErrors(t *testing.T) {
+	cases := []string{
+		"0,100,8192,R",          // too few fields
+		"x,100,8192,R,0",        // bad ASU
+		"0,-5,8192,R,0",         // negative LBA
+		"0,100,abc,R,0",         // bad size
+		"0,100,8192,Q,0",        // bad opcode
+		"0,100,8192,R,-1",       // negative timestamp
+		"0,100,8192,R,nonsense", // bad timestamp
+	}
+	for _, in := range cases {
+		if _, err := ParseSPC(strings.NewReader(in), 0); err == nil {
+			t.Errorf("line %q accepted", in)
+		}
+	}
+}
+
+func TestSPCRecordOp(t *testing.T) {
+	r := SPCRecord{ASU: 2, LBA: 10, Size: 4096, Write: true}
+	op := r.Op()
+	if op.Kind != storage.OpWrite || op.Offset != 10*SectorSize || op.Len != 4096 {
+		t.Fatalf("op = %+v", op)
+	}
+	if op.Device != "asu2" {
+		t.Fatalf("device = %q", op.Device)
+	}
+}
+
+func TestSPCRoundTrip(t *testing.T) {
+	ops := []storage.Op{
+		{Kind: storage.OpRead, Offset: 512 * 100, Len: 8192, Latency: time.Millisecond},
+		{Kind: storage.OpWrite, Offset: 512 * 7, Len: 512, Latency: 2 * time.Millisecond},
+		{Kind: storage.OpTrim, Offset: 0, Len: 512}, // dropped on write
+		{Kind: storage.OpRead, Offset: 512 * 9000, Len: 4096},
+	}
+	var buf bytes.Buffer
+	if err := WriteSPC(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseSPC(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("round trip kept %d records, want 3", len(recs))
+	}
+	if recs[0].LBA != 100 || recs[0].Size != 8192 || recs[0].Write {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if !recs[1].Write {
+		t.Fatal("write opcode lost")
+	}
+	// Timestamps accumulate the preceding latencies.
+	if recs[1].Timestamp != time.Millisecond || recs[2].Timestamp != 3*time.Millisecond {
+		t.Fatalf("timestamps: %v, %v", recs[1].Timestamp, recs[2].Timestamp)
+	}
+	// Converted ops analyze like the originals.
+	ch := Analyze(SPCOps(recs))
+	if ch.Ops != 3 || ch.Reads != 2 {
+		t.Fatalf("analysis: %+v", ch)
+	}
+}
+
+func TestParseSPCRejectsGarbageField(t *testing.T) {
+	if _, err := ParseSPC(strings.NewReader(sampleSPC), 0); err == nil {
+		t.Fatal("garbage LBA line accepted")
+	}
+}
+
+func TestSyntheticTraceSPCExport(t *testing.T) {
+	// The synthetic web-search generator's output survives an SPC round
+	// trip with identical offsets.
+	p := DefaultWebSearchParams()
+	p.Reads = 200
+	ops := SyntheticWebSearch(p)
+	var buf bytes.Buffer
+	if err := WriteSPC(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseSPC(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ops) {
+		t.Fatalf("%d records, want %d", len(recs), len(ops))
+	}
+	for i := range recs {
+		if recs[i].LBA*SectorSize != ops[i].Offset {
+			t.Fatalf("offset mismatch at %d", i)
+		}
+	}
+}

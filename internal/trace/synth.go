@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"time"
+
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/storage"
+	"hybridstore/internal/workload"
+)
+
+// SyntheticWebSearchParams shapes SyntheticWebSearch.
+type SyntheticWebSearchParams struct {
+	// Reads is the number of read operations to generate.
+	Reads int
+	// SpanSectors is the logical-sector range touched (UMass WebSearch
+	// covers roughly 3.5×10^6 sectors in Fig 1a).
+	SpanSectors int64
+	// HotSpots is the number of distinct frequently-read locations.
+	HotSpots int
+	// ZipfS sets how skewed access across hot spots is.
+	ZipfS float64
+	// ReadSectors is the size of each read in sectors.
+	ReadSectors int
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// DefaultWebSearchParams mimics the UMass WebSearch trace of Fig 1(a).
+func DefaultWebSearchParams() SyntheticWebSearchParams {
+	return SyntheticWebSearchParams{
+		Reads:       5000,
+		SpanSectors: 3_500_000,
+		HotSpots:    4000,
+		ZipfS:       0.8,
+		ReadSectors: 16,
+		Seed:        0x0eb,
+	}
+}
+
+// SyntheticWebSearch generates a UMass-like web search I/O trace: almost
+// pure reads, scattered across the whole device span, with Zipf reuse of a
+// hot-spot population — the pattern of Fig 1(a). The result is an op list
+// ready for Analyze/ReadSequence.
+func SyntheticWebSearch(p SyntheticWebSearchParams) []storage.Op {
+	if p.Reads <= 0 || p.SpanSectors <= 0 || p.HotSpots <= 0 {
+		panic("trace: invalid synthetic trace parameters")
+	}
+	rng := simclock.NewRNG(p.Seed)
+	// Hot spot locations are uniform over the span; access order is Zipf
+	// over spots, so a small subset of locations dominates.
+	spots := make([]int64, p.HotSpots)
+	for i := range spots {
+		spots[i] = int64(rng.Uint64() % uint64(p.SpanSectors))
+	}
+	zipf := workload.NewZipf(rng.Split(1), p.HotSpots, p.ZipfS)
+	ops := make([]storage.Op, 0, p.Reads)
+	for i := 0; i < p.Reads; i++ {
+		sector := spots[zipf.Next()]
+		// Occasional short forward skip within a run, like skip-list reads.
+		if rng.Float64() < 0.2 {
+			sector += int64(rng.Intn(64))
+			if sector >= p.SpanSectors {
+				sector = p.SpanSectors - 1
+			}
+		}
+		ops = append(ops, storage.Op{
+			Device:  "websearch",
+			Kind:    storage.OpRead,
+			Offset:  sector * SectorSize,
+			Len:     p.ReadSectors * SectorSize,
+			Latency: time.Duration(0),
+		})
+	}
+	return ops
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"testing"
+
+	"hybridstore/internal/storage"
+)
+
+func TestSyntheticWebSearchShape(t *testing.T) {
+	p := DefaultWebSearchParams()
+	p.Reads = 2000
+	ops := SyntheticWebSearch(p)
+	if len(ops) != 2000 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	for _, op := range ops {
+		if op.Kind != storage.OpRead {
+			t.Fatal("synthetic web search emitted a non-read")
+		}
+		if op.Offset < 0 || op.Offset/SectorSize >= p.SpanSectors {
+			t.Fatalf("offset %d outside span", op.Offset)
+		}
+	}
+}
+
+func TestSyntheticWebSearchCharacteristics(t *testing.T) {
+	ops := SyntheticWebSearch(DefaultWebSearchParams())
+	ch := Analyze(ops)
+	if ch.ReadFraction != 1.0 {
+		t.Fatalf("read fraction %v, want 1 (read-dominant)", ch.ReadFraction)
+	}
+	if ch.Top10PctShare < 0.2 {
+		t.Fatalf("Top10PctShare %v: no locality in the synthetic trace", ch.Top10PctShare)
+	}
+	if ch.SequentialFraction > 0.2 {
+		t.Fatalf("SequentialFraction %v: trace not random enough", ch.SequentialFraction)
+	}
+}
+
+func TestSyntheticWebSearchDeterministic(t *testing.T) {
+	a := SyntheticWebSearch(DefaultWebSearchParams())
+	b := SyntheticWebSearch(DefaultWebSearchParams())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+	p := DefaultWebSearchParams()
+	p.Seed++
+	c := SyntheticWebSearch(p)
+	same := 0
+	for i := range a {
+		if a[i].Offset == c[i].Offset {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticWebSearchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params did not panic")
+		}
+	}()
+	SyntheticWebSearch(SyntheticWebSearchParams{})
+}

@@ -1,0 +1,140 @@
+package workload
+
+// AOL query-log import. The paper drives its evaluation with the AOL
+// query collection (Table II). ParseAOL reads the collection's
+// tab-separated format —
+//
+//	AnonID\tQuery\tQueryTime[\tItemRank\tClickURL]
+//
+// — and maps each textual query onto the reproduction's term space:
+// identical query strings get identical query IDs (result-cache
+// repetitions survive), and each distinct token hashes to a stable term
+// ID within the vocabulary (so token reuse across queries drives the
+// list cache exactly as in the real log).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// fnv64 is the FNV-1a hash, inlined to keep hashing stable and
+// dependency-free.
+func fnv64(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// AOLParseOptions configures ParseAOL.
+type AOLParseOptions struct {
+	// VocabSize bounds the term space; tokens hash into [0, VocabSize).
+	VocabSize int
+	// MaxTermsPerQuery truncates long queries (paper's workload: 1–3).
+	MaxTermsPerQuery int
+	// Limit stops after this many queries (0 = all).
+	Limit int
+	// SkipHeader drops the first non-blank line ("AnonID Query ...").
+	SkipHeader bool
+}
+
+// ParseAOL reads an AOL-format query log and returns the query stream in
+// log order. Lines without a query string are skipped.
+func ParseAOL(r io.Reader, opts AOLParseOptions) ([]Query, error) {
+	if opts.VocabSize <= 0 {
+		return nil, fmt.Errorf("workload: ParseAOL needs VocabSize > 0")
+	}
+	if opts.MaxTermsPerQuery <= 0 {
+		opts.MaxTermsPerQuery = 3
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	var out []Query
+	header := opts.SkipHeader
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if header {
+			header = false
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			continue
+		}
+		text := strings.TrimSpace(strings.ToLower(fields[1]))
+		if text == "" || text == "-" {
+			continue
+		}
+		q := queryFromText(text, opts.VocabSize, opts.MaxTermsPerQuery)
+		if len(q.Terms) == 0 {
+			continue
+		}
+		out = append(out, q)
+		if opts.Limit > 0 && len(out) >= opts.Limit {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading AOL input: %w", err)
+	}
+	return out, nil
+}
+
+// queryFromText maps a query string onto the synthetic term space.
+func queryFromText(text string, vocabSize, maxTerms int) Query {
+	qid := fnv64(text)
+	tokens := strings.Fields(text)
+	terms := make([]TermID, 0, maxTerms)
+	seen := make(map[TermID]bool, maxTerms)
+	for _, tok := range tokens {
+		t := TermID(fnv64(tok) % uint64(vocabSize))
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		terms = append(terms, t)
+		if len(terms) >= maxTerms {
+			break
+		}
+	}
+	return Query{ID: qid, Terms: terms}
+}
+
+// ReplayLog wraps a fixed query slice as a stream with the same interface
+// shape as QueryLog: Next cycles through the slice (wrapping around), so
+// experiments can run more queries than the trace holds.
+type ReplayLog struct {
+	queries  []Query
+	pos      int
+	produced int64
+}
+
+// NewReplayLog wraps queries; it panics on an empty slice.
+func NewReplayLog(queries []Query) *ReplayLog {
+	if len(queries) == 0 {
+		panic("workload: empty replay log")
+	}
+	return &ReplayLog{queries: queries}
+}
+
+// Next returns the next query, wrapping at the end of the trace.
+func (l *ReplayLog) Next() Query {
+	q := l.queries[l.pos]
+	l.pos = (l.pos + 1) % len(l.queries)
+	l.produced++
+	return q
+}
+
+// Len returns the trace length.
+func (l *ReplayLog) Len() int { return len(l.queries) }
+
+// Produced returns how many queries Next has handed out.
+func (l *ReplayLog) Produced() int64 { return l.produced }

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAOL checks the AOL log parser never panics and maps every
+// accepted query into the configured term space.
+func FuzzParseAOL(f *testing.F) {
+	f.Add("1\tlottery\t2006-03-03 10:01:03\n")
+	f.Add("AnonID\tQuery\tQueryTime\n1\tcheap flights\t-\n")
+	f.Add("no tabs here\n\t\t\t\n")
+	f.Add("1\t-\t-\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		qs, err := ParseAOL(strings.NewReader(input), AOLParseOptions{
+			VocabSize: 500, MaxTermsPerQuery: 3, Limit: 200,
+		})
+		if err != nil {
+			return
+		}
+		for _, q := range qs {
+			if len(q.Terms) == 0 || len(q.Terms) > 3 {
+				t.Fatalf("query with %d terms accepted", len(q.Terms))
+			}
+			for _, term := range q.Terms {
+				if int(term) < 0 || int(term) >= 500 {
+					t.Fatalf("term %d outside vocab", term)
+				}
+			}
+		}
+	})
+}

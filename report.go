@@ -1,0 +1,64 @@
+package hybrid
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridstore/internal/core"
+	"hybridstore/internal/storage"
+)
+
+// Report renders a human-readable snapshot of the whole system: cache hit
+// ratios, Table I situation tally, device counters and SSD wear.
+func (s *System) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mode=%d index_on=%d", s.cfg.Mode, s.cfg.IndexOn)
+	if s.Manager != nil {
+		fmt.Fprintf(&sb, " policy=%s", s.Manager.Policy())
+	}
+	sb.WriteByte('\n')
+
+	if s.Manager != nil {
+		st := s.Manager.Stats()
+		fmt.Fprintf(&sb, "queries=%d mean_response=%v throughput=%.1f q/s\n",
+			st.Queries, st.MeanQueryTime(), st.Throughput())
+		fmt.Fprintf(&sb, "hit ratios: RC=%.3f IC=%.3f RIC=%.3f\n",
+			st.ResultHitRatio(), st.ListHitRatio(), st.CombinedHitRatio())
+		fmt.Fprintf(&sb, "list bytes: mem=%d ssd=%d hdd=%d to_ssd=%d elided=%d discarded=%d\n",
+			st.ListBytesFromMem, st.ListBytesFromSSD, st.ListBytesFromHDD,
+			st.ListBytesToSSD, st.ListWritesElided, st.ListsDiscarded)
+		fmt.Fprintf(&sb, "results: mem_hits=%d ssd_hits=%d misses=%d rb_flushes=%d elided=%d\n",
+			st.ResultHitsMem, st.ResultHitsSSD, st.ResultMisses,
+			st.RBFlushes, st.ResultWritesElided)
+		sb.WriteString("situations (Table I):\n")
+		for sit := core.S1ResultMem; sit < 9; sit++ {
+			c := st.Situations.Counts[sit]
+			if c == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-18s P=%.4f T=%v\n",
+				sit, st.Situations.Probability(sit), st.Situations.MeanTime(sit))
+		}
+	}
+
+	device := func(name string, stats storage.DeviceStats) {
+		fmt.Fprintf(&sb, "%s: reads=%d writes=%d bytesR=%d bytesW=%d avg_access=%v\n",
+			name, stats.Reads, stats.Writes, stats.BytesRead, stats.BytesWrit,
+			stats.AvgAccessTime())
+	}
+	if s.HDD != nil {
+		device("hdd", s.HDD.Stats())
+	}
+	if s.IndexSSD != nil {
+		device("index-ssd", s.IndexSSD.Stats())
+		w := s.IndexSSD.Wear()
+		fmt.Fprintf(&sb, "index-ssd wear: erases=%d WA=%.3f\n", w.TotalErases, w.WriteAmplification)
+	}
+	if s.CacheSSD != nil {
+		device("cache-ssd", s.CacheSSD.Stats())
+		w := s.CacheSSD.Wear()
+		fmt.Fprintf(&sb, "cache-ssd wear: erases=%d gc_copies=%d WA=%.3f free_blocks=%d\n",
+			w.TotalErases, w.GCPageCopies, w.WriteAmplification, w.FreeBlocks)
+	}
+	return sb.String()
+}
