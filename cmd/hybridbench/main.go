@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"hybridstore/internal/experiments"
+	"hybridstore/internal/obs"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 		expFlag   = flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
 		scaleFlag = flag.String("scale", "full", "workload scale: 'full' or 'small'")
 		listFlag  = flag.Bool("list", false, "list experiments and exit")
+		traceFlag = flag.String("trace", "", "write NDJSON query traces from every measured run to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +48,28 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or small)\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		sc.Obs = obs.New(obs.Options{TraceOut: w})
+		defer func() {
+			if err := w.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			if err := sc.Obs.Tracer.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace stream: %v\n", err)
+			}
+			fmt.Printf("wrote %d trace records to %s\n", sc.Obs.Tracer.Completed(), *traceFlag)
+		}()
 	}
 
 	var targets []experiments.Experiment

@@ -10,9 +10,12 @@
 //	searchsim -ftl blockmap -queries 3000         # §II-A FTL ablation
 //	searchsim -result-ttl 30s -list-ttl 30s       # §IV-B dynamic scenario
 //	searchsim -aol user-ct-test.txt               # replay a real AOL log
+//	searchsim -trace run.ndjson -metrics-every 1000  # per-query traces + live metrics
+//	searchsim -json report.json                   # machine-readable final report
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,25 +24,29 @@ import (
 	hybrid "hybridstore"
 	"hybridstore/internal/core"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/workload"
 )
 
 func main() {
 	var (
-		queries     = flag.Int("queries", 10000, "queries to run")
-		docs        = flag.Int("docs", 1_000_000, "collection size")
-		vocab       = flag.Int("vocab", 5000, "vocabulary size")
-		mem         = flag.Int64("mem", 3<<20, "memory cache bytes")
-		ssdRC       = flag.Int64("ssd-rc", 2<<20, "SSD result-cache region bytes")
-		ssdIC       = flag.Int64("ssd-ic", 24<<20, "SSD list-cache region bytes")
-		policyFlag  = flag.String("policy", "cbslru", "cache policy: lru, cblru, cbslru")
-		modeFlag    = flag.String("mode", "twolevel", "cache mode: none, onelevel, twolevel")
-		indexFlag   = flag.String("index-on", "hdd", "index placement: hdd or ssd")
-		ftlFlag     = flag.String("ftl", "pagemap", "cache SSD FTL: pagemap, blockmap, hybridlog")
-		resultTTL   = flag.Duration("result-ttl", 0, "dynamic scenario: TTL for cached results (0 = static)")
-		listTTL     = flag.Duration("list-ttl", 0, "dynamic scenario: TTL for cached lists (0 = static)")
-		aolFile     = flag.String("aol", "", "replay queries from an AOL-format log file instead of the synthetic stream")
-		reportEvery = flag.Int("report-every", 0, "print a progress line every N queries (0 = off)")
+		queries      = flag.Int("queries", 10000, "queries to run")
+		docs         = flag.Int("docs", 1_000_000, "collection size")
+		vocab        = flag.Int("vocab", 5000, "vocabulary size")
+		mem          = flag.Int64("mem", 3<<20, "memory cache bytes")
+		ssdRC        = flag.Int64("ssd-rc", 2<<20, "SSD result-cache region bytes")
+		ssdIC        = flag.Int64("ssd-ic", 24<<20, "SSD list-cache region bytes")
+		policyFlag   = flag.String("policy", "cbslru", "cache policy: lru, cblru, cbslru")
+		modeFlag     = flag.String("mode", "twolevel", "cache mode: none, onelevel, twolevel")
+		indexFlag    = flag.String("index-on", "hdd", "index placement: hdd or ssd")
+		ftlFlag      = flag.String("ftl", "pagemap", "cache SSD FTL: pagemap, blockmap, hybridlog")
+		resultTTL    = flag.Duration("result-ttl", 0, "dynamic scenario: TTL for cached results (0 = static)")
+		listTTL      = flag.Duration("list-ttl", 0, "dynamic scenario: TTL for cached lists (0 = static)")
+		aolFile      = flag.String("aol", "", "replay queries from an AOL-format log file instead of the synthetic stream")
+		reportEvery  = flag.Int("report-every", 0, "print a progress line every N queries (0 = off)")
+		traceFile    = flag.String("trace", "", "write one NDJSON trace record per query to this file")
+		metricsEvery = flag.Int("metrics-every", 0, "print a live metrics line every N queries (0 = off)")
+		jsonFile     = flag.String("json", "", "write the machine-readable JSON report to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -98,6 +105,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	obsOpts := obs.Options{}
+	if *metricsEvery > 0 {
+		obsOpts.SampleEvery = *metricsEvery
+	}
+	var traceF *os.File
+	var traceW *bufio.Writer
+	if *traceFile != "" {
+		traceF, err = os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceW = bufio.NewWriterSize(traceF, 1<<20)
+		obsOpts.TraceOut = traceW
+	}
+	observer := obs.New(obsOpts)
+	sys.EnableObservability(observer)
+
 	var replay *workload.ReplayLog
 	if *aolFile != "" {
 		f, err := os.Open(*aolFile)
@@ -131,48 +156,69 @@ func main() {
 			ws.PinnedResults, ws.PinnedLists, ws.SampleQueries)
 	}
 
-	step := *queries
-	if *reportEvery > 0 && *reportEvery < step {
-		step = *reportEvery
-	}
-	done := 0
-	for done < *queries {
-		n := step
-		if *queries-done < n {
-			n = *queries - done
-		}
-		var rs hybrid.RunStats
-		var err error
+	for done := 1; done <= *queries; done++ {
+		var q workload.Query
 		if replay != nil {
-			start := sys.Clock.Now()
-			for i := 0; i < n; i++ {
-				if _, info, serr := sys.Search(replay.Next()); serr != nil {
-					fmt.Fprintln(os.Stderr, serr)
-					os.Exit(1)
-				} else {
-					rs.Queries++
-					rs.TotalTime += info.Elapsed
-					if info.Cached {
-						rs.ResultHits++
-					}
-				}
-			}
-			rs.WallTime = sys.Clock.Now() - start
+			q = replay.Next()
 		} else {
-			rs, err = sys.Run(n)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+			q = sys.Log.Next()
 		}
-		done += n
-		if *reportEvery > 0 {
-			fmt.Printf("[%6d] mean_resp=%v throughput=%.1f q/s\n",
-				done, rs.MeanResponseTime(), rs.Throughput())
+		if _, _, err := sys.Search(q); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fireReport := *reportEvery > 0 && done%*reportEvery == 0
+		fireMetrics := *metricsEvery > 0 && done%*metricsEvery == 0
+		if fireReport || fireMetrics {
+			// One Progress sample per boundary: it drains the interval
+			// accumulators, so both lines must share it.
+			p := sys.Progress()
+			if fireReport {
+				fmt.Printf("[%6d] mean_resp=%v RC=%.3f IC=%.3f RIC=%.3f\n",
+					done, p.IntervalMeanTime, p.RC, p.IC, p.RIC)
+			}
+			if fireMetrics {
+				fmt.Println(p.String())
+			}
 		}
 	}
 	fmt.Println()
 	fmt.Print(sys.Report())
+
+	if traceW != nil {
+		if err := traceW.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := traceF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := observer.Tracer.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace stream: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace records to %s\n", observer.Tracer.Completed(), *traceFile)
+	}
+	if *jsonFile != "" {
+		out := os.Stdout
+		if *jsonFile != "-" {
+			f, err := os.Create(*jsonFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := sys.WriteJSONReport(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *jsonFile != "-" {
+			fmt.Printf("wrote JSON report to %s\n", *jsonFile)
+		}
+	}
 }
 
 func parsePolicy(s string) (core.Policy, error) {

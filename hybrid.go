@@ -28,6 +28,7 @@ import (
 	"hybridstore/internal/engine"
 	"hybridstore/internal/flashsim"
 	"hybridstore/internal/index"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/simclock"
 	"hybridstore/internal/storage"
 	"hybridstore/internal/workload"
@@ -49,6 +50,18 @@ const (
 	IndexOnHDD IndexPlacement = iota
 	IndexOnSSD
 )
+
+// String names the placement.
+func (p IndexPlacement) String() string {
+	switch p {
+	case IndexOnHDD:
+		return "hdd"
+	case IndexOnSSD:
+		return "ssd"
+	default:
+		return fmt.Sprintf("IndexPlacement(%d)", int(p))
+	}
+}
 
 // FTLKind selects the flash translation layer of the cache SSD (§II-A).
 type FTLKind int
@@ -86,6 +99,20 @@ const (
 	CacheOneLevel
 	CacheTwoLevel
 )
+
+// String names the cache mode.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheNone:
+		return "none"
+	case CacheOneLevel:
+		return "onelevel"
+	case CacheTwoLevel:
+		return "twolevel"
+	default:
+		return fmt.Sprintf("CacheMode(%d)", int(m))
+	}
+}
 
 // Config assembles a full simulated system.
 type Config struct {
@@ -136,6 +163,7 @@ type CacheDevice interface {
 	Stats() storage.DeviceStats
 	PageSize() int
 	BlockSize() int64
+	SetOpHook(func(storage.Op))
 }
 
 // System is an assembled simulation: devices, index, caches, engine, log.
@@ -155,6 +183,7 @@ type System struct {
 	docBytes  int
 	baseline  engine.ListSource // raw index, for uncached execution
 	uncachedE *engine.Engine
+	obs       *obs.Observer // nil unless EnableObservability was called
 }
 
 // New builds the system: devices sized to the index, the index bulk-loaded
@@ -258,7 +287,18 @@ type SearchInfo struct {
 
 // Search processes one query through the full hierarchy: result-cache
 // lookup, query execution on miss, result caching, situation accounting.
+// With observability enabled it also brackets the query with a trace.
 func (s *System) Search(q workload.Query) (*engine.Result, SearchInfo, error) {
+	if s.obs == nil {
+		return s.search(q)
+	}
+	s.obs.BeginQuery(q.ID, s.Clock.Now())
+	res, info, err := s.search(q)
+	s.obs.EndQuery(s.Clock.Now(), info.Elapsed)
+	return res, info, err
+}
+
+func (s *System) search(q workload.Query) (*engine.Result, SearchInfo, error) {
 	sw := simclock.StartStopwatch(s.Clock)
 	if s.Manager == nil {
 		res, stats, err := s.Engine.Execute(q)
@@ -316,6 +356,9 @@ func (s *System) RestartWarm() error {
 	}
 	s.Manager = m
 	s.Engine = engine.New(m, s.engCfg)
+	if s.obs != nil {
+		m.SetEventSink(s.obs.HandleEvent)
+	}
 	return nil
 }
 

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"hybridstore/internal/workload"
+)
+
+// Level names a storage level of the hierarchy for event attribution.
+type Level uint8
+
+// Storage levels, outermost first.
+const (
+	LevelMem Level = iota
+	LevelSSD
+	LevelHDD
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelMem:
+		return "mem"
+	case LevelSSD:
+		return "ssd"
+	case LevelHDD:
+		return "hdd"
+	default:
+		return "level?"
+	}
+}
+
+// EventKind classifies one manager event.
+type EventKind uint8
+
+// Manager event kinds. Each fires at the moment the corresponding stats
+// counter is bumped, so a sink that sums event payloads reproduces the
+// Stats totals exactly.
+const (
+	// EvListRead: Bytes of term Term's list served from Level.
+	EvListRead EventKind = iota
+	// EvResultHit: a result-cache probe served from Level (Bytes = entry size).
+	EvResultHit
+	// EvResultMiss: a result-cache probe that found nothing.
+	EvResultMiss
+	// EvListFlush: Bytes of an inverted-list extent written to the SSD cache.
+	EvListFlush
+	// EvResultFlush: Bytes of result data written to the SSD cache (an
+	// assembled RB under the cost-based policies, a single entry under LRU).
+	EvResultFlush
+	// EvListEvict: an inverted-list entry evicted from the cache at Level.
+	EvListEvict
+	// EvResultEvict: a result entry (or RB) evicted from the cache at Level.
+	EvResultEvict
+	// EvQueryEnd: the current query was classified into situation Sit.
+	EvQueryEnd
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	names := [...]string{
+		"list_read", "result_hit", "result_miss", "list_flush",
+		"result_flush", "list_evict", "result_evict", "query_end",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "event?"
+}
+
+// Event is one fine-grained cache-manager occurrence, emitted synchronously
+// on the serving path for tracing and metrics. Fields beyond Kind are
+// populated per kind (see the kind constants).
+type Event struct {
+	Kind  EventKind
+	Term  workload.TermID
+	Level Level
+	Bytes int64
+	Sit   Situation
+}
+
+// SetEventSink installs a callback receiving every manager event, or removes
+// it when fn is nil. The sink is invoked synchronously on the serving path
+// under the simulation's single-threaded discipline; it must not call back
+// into the manager.
+func (m *Manager) SetEventSink(fn func(Event)) { m.events = fn }
+
+// emit delivers an event to the sink, if any.
+func (m *Manager) emit(e Event) {
+	if m.events != nil {
+		m.events(e)
+	}
+}

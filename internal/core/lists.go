@@ -47,6 +47,7 @@ func (m *Manager) ReadListRange(t workload.TermID, off int64, p []byte) error {
 			m.memCost(int(n))
 			m.noteTermSource(t, srcMem)
 			m.stats.ListBytesFromMem += n
+			m.emit(Event{Kind: EvListRead, Term: t, Level: LevelMem, Bytes: n})
 			pos += n
 		}
 	}
@@ -63,6 +64,7 @@ func (m *Manager) ReadListRange(t workload.TermID, off int64, p []byte) error {
 			}
 			m.noteTermSource(t, srcSSD)
 			m.stats.ListBytesFromSSD += n
+			m.emit(Event{Kind: EvListRead, Term: t, Level: LevelSSD, Bytes: n})
 			pos += n
 			m.onSSDListHit(t, sl)
 		}
@@ -77,6 +79,7 @@ func (m *Manager) ReadListRange(t workload.TermID, off int64, p []byte) error {
 		m.noteTermSource(t, srcHDD)
 		m.stats.ListBytesFromHDD += end - pos
 		m.stats.ListReqBytesFromHDD += end - pos
+		m.emit(Event{Kind: EvListRead, Term: t, Level: LevelHDD, Bytes: end - pos})
 		pos = end
 		hddTail = true
 	}
@@ -218,12 +221,14 @@ func (m *Manager) readThrough(t workload.TermID, off int64, p []byte) {
 		m.ssdRead(p[:n], m.icBase()+sl.off+pos) //nolint:errcheck
 		m.stats.ListBytesFromSSD += n
 		m.noteTermSource(t, srcSSD)
+		m.emit(Event{Kind: EvListRead, Term: t, Level: LevelSSD, Bytes: n})
 		pos += n
 	}
 	if pos < end {
 		m.ix.ReadListRange(t, pos, p[pos-off:]) //nolint:errcheck
 		m.stats.ListBytesFromHDD += end - pos
 		m.noteTermSource(t, srcHDD)
+		m.emit(Event{Kind: EvListRead, Term: t, Level: LevelHDD, Bytes: end - pos})
 	}
 }
 
@@ -254,6 +259,7 @@ func (m *Manager) makeRoomIC(need int64, exclude *cache.Entry) {
 		ml := victim.Value.(*memList)
 		m.ic.RemoveEntry(victim)
 		m.stats.L1ListEvictions++
+		m.emit(Event{Kind: EvListEvict, Term: ml.term, Level: LevelMem})
 		m.flushListToSSD(ml)
 	}
 }

@@ -132,6 +132,9 @@ type Manager struct {
 	curResultSrc   sourceSet
 	curTermSrc     map[workload.TermID]sourceSet
 
+	// events, when set, receives fine-grained manager events (see events.go).
+	events func(Event)
+
 	// ssdBusyUntil is the simulated time at which the SSD finishes its
 	// queued background work. Cache flushes are asynchronous (the paper's
 	// write buffer decouples them from queries), but they occupy the

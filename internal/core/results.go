@@ -30,6 +30,7 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 			m.memCost(len(mr.data))
 			m.noteResultSource(srcMem)
 			m.stats.ResultHitsMem++
+			m.emit(Event{Kind: EvResultHit, Level: LevelMem, Bytes: int64(len(mr.data))})
 			return mr.data, ResultFromMemory
 		}
 	}
@@ -38,6 +39,7 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 			m.memCost(len(b.data))
 			m.noteResultSource(srcMem)
 			m.stats.ResultHitsMem++
+			m.emit(Event{Kind: EvResultHit, Level: LevelMem, Bytes: int64(len(b.data))})
 			return b.data, ResultFromMemory
 		}
 	}
@@ -47,6 +49,7 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 			delete(m.resultLoc, qid)
 			m.stats.ResultsExpired++
 			m.stats.ResultMisses++
+			m.emit(Event{Kind: EvResultMiss})
 			return nil, ResultMiss
 		}
 		data := make([]byte, m.cfg.ResultEntryBytes)
@@ -54,6 +57,7 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 		if err := m.ssdRead(data, off); err == nil {
 			m.noteResultSource(srcSSD)
 			m.stats.ResultHitsSSD++
+			m.emit(Event{Kind: EvResultHit, Level: LevelSSD, Bytes: int64(len(data))})
 			if !loc.rb.static && m.cfg.Policy != PolicyLRU {
 				loc.state = stateReplaceable
 			}
@@ -67,6 +71,7 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 		}
 	}
 	m.stats.ResultMisses++
+	m.emit(Event{Kind: EvResultMiss})
 	return nil, ResultMiss
 }
 
@@ -115,6 +120,7 @@ func (m *Manager) putResultL1(qid uint64, data []byte) {
 		}
 		m.rc.RemoveEntry(victim)
 		m.stats.L1ResultEvictions++
+		m.emit(Event{Kind: EvResultEvict, Level: LevelMem})
 		mr := victim.Value.(*memResult)
 		m.evictResultToSSD(victim.Key, mr)
 	}
@@ -199,6 +205,7 @@ func (m *Manager) flushResultBlock() {
 	}
 	m.stats.ResultBytesToSSD += m.cfg.BlockBytes
 	m.stats.RBFlushes++
+	m.emit(Event{Kind: EvResultFlush, Bytes: m.cfg.BlockBytes})
 	m.rbLRU.Put(rb.num, m.cfg.BlockBytes, rb)
 }
 
@@ -234,6 +241,7 @@ func (m *Manager) retireRB(rb *resultBlock) {
 	m.rcAlloc.Free(rb.off, m.cfg.BlockBytes)
 	m.ssdTrim(rb.off, m.cfg.BlockBytes)
 	m.stats.RBRetired++
+	m.emit(Event{Kind: EvResultEvict, Level: LevelSSD})
 }
 
 // evictResultLRU is the baseline path: the 20 KB entry is written
@@ -268,6 +276,7 @@ func (m *Manager) evictResultLRU(qid uint64, data []byte) {
 		return
 	}
 	m.stats.ResultBytesToSSD += size
+	m.emit(Event{Kind: EvResultFlush, Bytes: size})
 	m.resultLoc[qid] = loc
 	m.rbLRU.Put(rb.num, size, rb)
 }
@@ -280,6 +289,7 @@ func (m *Manager) freeLRUResult(loc *ssdResult) {
 	}
 	m.rcAlloc.Free(loc.rb.off, m.cfg.ResultEntryBytes)
 	m.stats.L2ResultEvictions++
+	m.emit(Event{Kind: EvResultEvict, Level: LevelSSD})
 }
 
 // PinResult stores an encoded result entry in the static partition of the

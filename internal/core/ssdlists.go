@@ -86,6 +86,7 @@ func (m *Manager) flushListToSSD(ml *memList) {
 	}
 	m.stats.ListBytesToSSD += scBytes
 	m.stats.ListWritesToSSD++
+	m.emit(Event{Kind: EvListFlush, Term: ml.term, Bytes: scBytes})
 
 	sl := &ssdList{term: ml.term, off: off, blockBytes: scBytes, validBytes: validBytes, loadedAt: ml.loadedAt}
 	m.icLRU.Put(uint64(ml.term), scBytes, sl)
@@ -120,6 +121,7 @@ func (m *Manager) placeListExtent(scBytes int64) (int64, bool) {
 			m.icLRU.RemoveEntry(e)
 			m.stats.L2ListEvictions++
 			m.stats.ListOverwritesInPlace++
+			m.emit(Event{Kind: EvListEvict, Term: sl.term, Level: LevelSSD})
 			return off, true
 		}
 	}
@@ -158,6 +160,7 @@ func (m *Manager) evictSSDList(e *cache.Entry) {
 	m.icAlloc.Free(sl.off, sl.blockBytes)
 	m.ssdTrim(m.icBase()+sl.off, sl.blockBytes)
 	m.stats.L2ListEvictions++
+	m.emit(Event{Kind: EvListEvict, Term: sl.term, Level: LevelSSD})
 }
 
 // dropSSDList removes a specific term's dynamic entry (used before
@@ -187,6 +190,7 @@ func (m *Manager) flushListLRU(ml *memList) {
 		m.icLRU.RemoveEntry(old)
 		m.icAlloc.Free(sl.off, sl.blockBytes)
 		m.stats.L2ListEvictions++
+		m.emit(Event{Kind: EvListEvict, Term: sl.term, Level: LevelSSD})
 	}
 	var off int64
 	for {
@@ -203,6 +207,7 @@ func (m *Manager) flushListLRU(ml *memList) {
 		m.icLRU.RemoveEntry(lru)
 		m.icAlloc.Free(sl.off, sl.blockBytes)
 		m.stats.L2ListEvictions++
+		m.emit(Event{Kind: EvListEvict, Term: sl.term, Level: LevelSSD})
 	}
 	if err := m.ssdWrite(ml.prefix, m.icBase()+off); err != nil {
 		m.icAlloc.Free(off, size)
@@ -210,6 +215,7 @@ func (m *Manager) flushListLRU(ml *memList) {
 	}
 	m.stats.ListBytesToSSD += size
 	m.stats.ListWritesToSSD++
+	m.emit(Event{Kind: EvListFlush, Term: ml.term, Bytes: size})
 	m.icLRU.Put(uint64(ml.term), size, &ssdList{
 		term: ml.term, off: off, blockBytes: size, validBytes: size, loadedAt: ml.loadedAt,
 	})
@@ -258,6 +264,7 @@ func (m *Manager) PinList(t workload.TermID) bool {
 	}
 	m.stats.ListBytesToSSD += scBytes
 	m.stats.ListWritesToSSD++
+	m.emit(Event{Kind: EvListFlush, Term: t, Bytes: scBytes})
 	m.icStatic[t] = &ssdList{
 		term: t, off: off, blockBytes: scBytes, validBytes: validBytes, static: true,
 	}

@@ -100,6 +100,30 @@ func (s *SituationTally) MeanTime(i Situation) time.Duration {
 	return s.Time[i] / time.Duration(s.Counts[i])
 }
 
+// SituationRow is one row of Table I: a situation with its occurrence
+// count, probability P_i and mean time cost T_i.
+type SituationRow struct {
+	Sit      Situation
+	Count    int64
+	P        float64
+	MeanTime time.Duration
+}
+
+// Table returns all nine (P_i, T_i) rows of Table I in situation order,
+// including zero-count rows, so every reporter renders from one source.
+func (s *SituationTally) Table() []SituationRow {
+	rows := make([]SituationRow, numSituations)
+	for i := Situation(0); i < numSituations; i++ {
+		rows[i] = SituationRow{
+			Sit:      i,
+			Count:    s.Counts[i],
+			P:        s.Probability(i),
+			MeanTime: s.MeanTime(i),
+		}
+	}
+	return rows
+}
+
 // Stats aggregates the manager's counters. All byte counts are payload
 // bytes; device-level counters (erases, access times) live on the devices.
 type Stats struct {
@@ -251,6 +275,7 @@ func (m *Manager) EndQuery(elapsed time.Duration) {
 	}
 	m.stats.Situations.Counts[sit]++
 	m.stats.Situations.Time[sit] += elapsed
+	m.emit(Event{Kind: EvQueryEnd, Sit: sit})
 
 	for _, src := range m.curTermSrc {
 		m.stats.ListRequests++

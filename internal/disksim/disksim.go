@@ -122,13 +122,15 @@ func (d *HDD) seekTime(distance int64) time.Duration {
 
 // cost computes and accounts the service time for a request at off of n
 // bytes. The caller holds d.mu.
-func (d *HDD) cost(off int64, n int) time.Duration {
+func (d *HDD) cost(off int64, n int) (time.Duration, bool) {
 	lat := d.p.CommandOverhead
+	seek := false
 	if off == d.nextSeq {
 		// Sequential continuation: the head is already in position and the
 		// target sector is passing under it; only transfer time applies.
 		d.seqHits++
 	} else {
+		seek = true
 		dist := off - d.headPos
 		if dist < 0 {
 			dist = -dist
@@ -138,7 +140,7 @@ func (d *HDD) cost(off int64, n int) time.Duration {
 	lat += time.Duration(float64(n) * d.nsPerByte)
 	d.headPos = off + int64(n)
 	d.nextSeq = off + int64(n)
-	return lat
+	return lat, seek
 }
 
 // ReadAt implements storage.Device.
@@ -149,9 +151,9 @@ func (d *HDD) ReadAt(p []byte, off int64) (time.Duration, error) {
 		return 0, err
 	}
 	d.buf.ReadAt(p, off)
-	lat := d.cost(off, len(p))
+	lat, seek := d.cost(off, len(p))
 	d.clock.Advance(lat)
-	d.record(storage.OpRead, off, len(p), lat)
+	d.record(storage.OpRead, off, len(p), lat, seek)
 	return lat, nil
 }
 
@@ -163,16 +165,16 @@ func (d *HDD) WriteAt(p []byte, off int64) (time.Duration, error) {
 		return 0, err
 	}
 	d.buf.WriteAt(p, off)
-	lat := d.cost(off, len(p))
+	lat, seek := d.cost(off, len(p))
 	d.clock.Advance(lat)
-	d.record(storage.OpWrite, off, len(p), lat)
+	d.record(storage.OpWrite, off, len(p), lat, seek)
 	return lat, nil
 }
 
-func (d *HDD) record(kind storage.OpKind, off int64, n int, lat time.Duration) {
+func (d *HDD) record(kind storage.OpKind, off int64, n int, lat time.Duration, seek bool) {
 	d.stats.Record(kind, n, lat)
 	if d.onOp != nil {
-		d.onOp(storage.Op{Device: d.name, Kind: kind, Offset: off, Len: n, Latency: lat})
+		d.onOp(storage.Op{Device: d.name, Kind: kind, Offset: off, Len: n, Latency: lat, Seek: seek})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	hybrid "hybridstore"
 	"hybridstore/internal/core"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/obs"
 	"hybridstore/internal/workload"
 )
 
@@ -45,6 +46,9 @@ type Scale struct {
 	DocSteps int
 	// SizeSteps is the number of x-axis points for cache-size sweeps.
 	SizeSteps int
+	// Obs, when non-nil, is attached to every measured system so experiment
+	// runs emit per-query traces and registry metrics (hybridbench -trace).
+	Obs *obs.Observer
 }
 
 // FullScale is the reference configuration: the regime of the paper's
@@ -131,6 +135,9 @@ func (sc Scale) system(policy core.Policy, mode hybrid.CacheMode, indexOn hybrid
 // runMeasured warms the system, resets counters, and measures. CBSLRU
 // systems are statically warmed from the query log first (§VI-C2).
 func runMeasured(sys *hybrid.System, sc Scale) (hybrid.RunStats, core.Stats, error) {
+	if sc.Obs != nil {
+		sys.EnableObservability(sc.Obs)
+	}
 	if sys.Manager != nil && sys.Manager.Policy() == core.PolicyCBSLRU {
 		if _, err := sys.WarmupStatic(2 * sc.WarmQueries); err != nil {
 			return hybrid.RunStats{}, core.Stats{}, err

@@ -24,20 +24,19 @@ func Table1Situations(w io.Writer, sc Scale) error {
 	tally := sys.Manager.Stats().Situations
 
 	tab := metrics.NewTable("situation", "sources", "P_i", "T_i")
-	for s := core.S1ResultMem; s < core.S1ResultMem+9; s++ {
-		tab.AddRow(fmt.Sprintf("S%d", int(s)+1), s.String(),
-			fmt.Sprintf("%.4f", tally.Probability(s)), tally.MeanTime(s).String())
+	var cached float64
+	for _, row := range tally.Table() {
+		tab.AddRow(fmt.Sprintf("S%d", int(row.Sit)+1), row.Sit.String(),
+			fmt.Sprintf("%.4f", row.P), row.MeanTime.String())
+		if row.Sit <= core.S5ListsSSD {
+			cached += row.P
+		}
 	}
 	if _, err := io.WriteString(w, tab.String()); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "queries classified: %d\n", tally.Total())
 	fmt.Fprintln(w, "(paper's goal: maximize P1..P5 — cache-served situations — and keep their T low)")
-
-	var cached float64
-	for s := core.S1ResultMem; s <= core.S5ListsSSD; s++ {
-		cached += tally.Probability(s)
-	}
 	fmt.Fprintf(w, "P(S1..S5) = %.4f\n", cached)
 	return nil
 }

@@ -2,10 +2,31 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 )
+
+// ExpBounds returns n strictly ascending bucket bounds starting at start
+// and multiplying by factor, for log-spaced histograms (latencies, sizes).
+// It panics on a non-positive start, a factor <= 1 or n < 1.
+func ExpBounds(start int64, factor float64, n int) []int64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBounds needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]int64, n)
+	v := float64(start)
+	for i := range out {
+		b := int64(math.Round(v))
+		if i > 0 && b <= out[i-1] {
+			b = out[i-1] + 1
+		}
+		out[i] = b
+		v *= factor
+	}
+	return out
+}
 
 // Histogram buckets integer-valued observations (sizes, counts, ranks) into
 // caller-defined boundaries. Bucket i covers values v with
@@ -60,6 +81,57 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.total)
+}
+
+// Sum returns the running sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the p-th percentile (0 < p <= 100) from the bucket
+// counts by linear interpolation inside the bucket holding the rank.
+// Returns 0 for an empty histogram. Observations that landed in the
+// overflow bucket (above the last bound) are clamped to the last bound —
+// the histogram does not retain their exact values.
+func (h *Histogram) Quantile(p float64) float64 {
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: quantile %v out of (0,100]", p))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: exact values are gone; the last bound is
+			// the tightest lower bound the histogram can certify.
+			return float64(h.bounds[len(h.bounds)-1])
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		// Position of the rank inside this bucket, in (0, 1].
+		frac := float64(rank-(cum-c)) / float64(c)
+		return float64(lo) + frac*float64(hi-lo)
+	}
+	return float64(h.bounds[len(h.bounds)-1])
 }
 
 // Buckets returns a copy of (upper bound, count) pairs; the final pair has

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hybridstore/internal/metrics"
+)
+
+// metricKind tags a registry entry for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindSeries
+)
+
+// Registry is a unified, named metric store: monotone counters, read-on-
+// demand gauges, bucketed histograms and checkpointed time series. One
+// registry describes one run; every reporter (text exposition, JSON
+// report, live progress) renders from it, replacing ad-hoc snapshotting.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*metrics.Counter
+	gauges   map[string]func() float64
+	hists    map[string]*metrics.Histogram
+	series   map[string]*metrics.TimeSeries
+	order    []registryEntry // registration order, for stable exposition
+}
+
+type registryEntry struct {
+	kind metricKind
+	name string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*metrics.Counter),
+		gauges:   make(map[string]func() float64),
+		hists:    make(map[string]*metrics.Histogram),
+		series:   make(map[string]*metrics.TimeSeries),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *metrics.Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &metrics.Counter{}
+	r.counters[name] = c
+	r.order = append(r.order, registryEntry{kindCounter, name})
+	return c
+}
+
+// Gauge registers (or replaces) a named gauge read by fn at exposition and
+// checkpoint time. Gauges own no state; they sample live system values.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauges[name]; !ok {
+		r.order = append(r.order, registryEntry{kindGauge, name})
+	}
+	r.gauges[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use. Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *metrics.Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := metrics.NewHistogram(bounds)
+	r.hists[name] = h
+	r.order = append(r.order, registryEntry{kindHistogram, name})
+	return h
+}
+
+// Series returns the named time series, creating it on first use.
+func (r *Registry) Series(name string) *metrics.TimeSeries {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := metrics.NewTimeSeries(name)
+	r.series[name] = s
+	r.order = append(r.order, registryEntry{kindSeries, name})
+	return s
+}
+
+// GaugeValue samples one gauge by name; ok is false when it is not
+// registered.
+func (r *Registry) GaugeValue(name string) (v float64, ok bool) {
+	r.mu.Lock()
+	fn, ok := r.gauges[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return fn(), true
+}
+
+// Checkpoint samples every gauge into a time series of the same name at
+// simulated time at. Called every N queries, it yields the Fig 19-style
+// progress curves (hit ratios, erase counts, write amplification).
+func (r *Registry) Checkpoint(at time.Duration) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.gauges))
+	for _, e := range r.order {
+		if e.kind == kindGauge {
+			names = append(names, e.name)
+		}
+	}
+	fns := make([]func() float64, len(names))
+	for i, n := range names {
+		fns[i] = r.gauges[n]
+	}
+	r.mu.Unlock()
+
+	for i, n := range names {
+		r.Series(n).Record(at, fns[i]())
+	}
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus exposition
+// charset [a-zA-Z0-9_:].
+func sanitizeMetricName(name string) string {
+	var sb strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteTo renders the registry in Prometheus-style text exposition format:
+// counters and gauges as single samples, histograms as cumulative _bucket
+// series with _sum and _count, time series as their latest sample.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	order := append([]registryEntry(nil), r.order...)
+	r.mu.Unlock()
+
+	var n int64
+	emit := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	for _, e := range order {
+		name := sanitizeMetricName(e.name)
+		switch e.kind {
+		case kindCounter:
+			r.mu.Lock()
+			c := r.counters[e.name]
+			r.mu.Unlock()
+			if err := emit("# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+				return n, err
+			}
+		case kindGauge:
+			v, _ := r.GaugeValue(e.name)
+			if err := emit("# TYPE %s gauge\n%s %g\n", name, name, v); err != nil {
+				return n, err
+			}
+		case kindHistogram:
+			r.mu.Lock()
+			h := r.hists[e.name]
+			r.mu.Unlock()
+			if err := emit("# TYPE %s histogram\n", name); err != nil {
+				return n, err
+			}
+			var cum int64
+			for _, b := range h.Buckets() {
+				cum += b.Count
+				le := "+Inf"
+				if b.UpperBound >= 0 {
+					le = fmt.Sprintf("%d", b.UpperBound)
+				}
+				if err := emit("%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+					return n, err
+				}
+			}
+			if err := emit("%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Total()); err != nil {
+				return n, err
+			}
+		case kindSeries:
+			r.mu.Lock()
+			s := r.series[e.name]
+			r.mu.Unlock()
+			last := s.Last()
+			if err := emit("# TYPE %s gauge\n%s %g\n", name, name, last.Value); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// HistogramSnapshot summarizes one histogram for the JSON report.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// SeriesPoint is one checkpointed sample for the JSON report.
+type SeriesPoint struct {
+	AtUS  int64   `json:"at_us"`
+	Value float64 `json:"value"`
+}
+
+// RegistrySnapshot is a point-in-time, JSON-serializable view of the whole
+// registry.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Series     map[string][]SeriesPoint     `json:"series,omitempty"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	order := append([]registryEntry(nil), r.order...)
+	r.mu.Unlock()
+
+	snap := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Series:     map[string][]SeriesPoint{},
+	}
+	for _, e := range order {
+		switch e.kind {
+		case kindCounter:
+			r.mu.Lock()
+			c := r.counters[e.name]
+			r.mu.Unlock()
+			snap.Counters[e.name] = c.Value()
+		case kindGauge:
+			v, _ := r.GaugeValue(e.name)
+			snap.Gauges[e.name] = v
+		case kindHistogram:
+			r.mu.Lock()
+			h := r.hists[e.name]
+			r.mu.Unlock()
+			snap.Histograms[e.name] = HistogramSnapshot{
+				Count: h.Total(),
+				Mean:  h.Mean(),
+				P50:   h.Quantile(50),
+				P95:   h.Quantile(95),
+				P99:   h.Quantile(99),
+			}
+		case kindSeries:
+			r.mu.Lock()
+			s := r.series[e.name]
+			r.mu.Unlock()
+			pts := s.Samples()
+			out := make([]SeriesPoint, len(pts))
+			for i, p := range pts {
+				out[i] = SeriesPoint{AtUS: p.At.Microseconds(), Value: p.Value}
+			}
+			snap.Series[e.name] = out
+		}
+	}
+	return snap
+}
+
+// Names returns every registered metric name, sorted, for inspection.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	for i, e := range r.order {
+		out[i] = e.name
+	}
+	sort.Strings(out)
+	return out
+}

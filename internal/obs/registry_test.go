@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads_total")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("reads_total") != c {
+		t.Fatal("Counter must return the same instance per name")
+	}
+	if c.Value() != 5 {
+		t.Fatalf("counter=%d want 5", c.Value())
+	}
+
+	v := 0.25
+	r.Gauge("ratio", func() float64 { return v })
+	got, ok := r.GaugeValue("ratio")
+	if !ok || got != 0.25 {
+		t.Fatalf("GaugeValue=%v,%v want 0.25,true", got, ok)
+	}
+	if _, ok := r.GaugeValue("missing"); ok {
+		t.Fatal("missing gauge reported ok")
+	}
+}
+
+func TestRegistryCheckpoint(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.Gauge("hit_ratio", func() float64 { return v })
+	r.Checkpoint(1 * time.Second)
+	v = 2.0
+	r.Checkpoint(2 * time.Second)
+
+	snap := r.Snapshot()
+	pts := snap.Series["hit_ratio"]
+	if len(pts) != 2 {
+		t.Fatalf("series has %d points, want 2", len(pts))
+	}
+	if pts[0].Value != 1.0 || pts[1].Value != 2.0 {
+		t.Fatalf("series values %v,%v want 1,2", pts[0].Value, pts[1].Value)
+	}
+	if pts[0].AtUS != 1_000_000 || pts[1].AtUS != 2_000_000 {
+		t.Fatalf("series times %v,%v", pts[0].AtUS, pts[1].AtUS)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(3)
+	r.Gauge("rc_hit_ratio", func() float64 { return 0.5 })
+	h := r.Histogram("latency_us", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500) // overflow
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE queries_total counter",
+		"queries_total 3",
+		"# TYPE rc_hit_ratio gauge",
+		"rc_hit_ratio 0.5",
+		"# TYPE latency_us histogram",
+		`latency_us_bucket{le="10"} 1`,
+		`latency_us_bucket{le="100"} 2`,
+		`latency_us_bucket{le="+Inf"} 3`,
+		"latency_us_sum 555",
+		"latency_us_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain_name": "plain_name",
+		"has-dash":   "has_dash",
+		"dots.too":   "dots_too",
+		"9leading":   "_9leading",
+		"mixed:ok_9": "mixed:ok_9",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestObserverSampleEveryCheckpoints(t *testing.T) {
+	o := New(Options{SampleEvery: 2})
+	v := 0.0
+	o.Registry.Gauge("g", func() float64 { return v })
+	for i := 1; i <= 6; i++ {
+		v = float64(i)
+		o.BeginQuery(uint64(i), 0)
+		o.EndQuery(time.Duration(i)*time.Second, time.Millisecond)
+	}
+	snap := o.Registry.Snapshot()
+	pts := snap.Series["g"]
+	if len(pts) != 3 {
+		t.Fatalf("checkpointed %d times, want 3", len(pts))
+	}
+	if pts[0].Value != 2 || pts[1].Value != 4 || pts[2].Value != 6 {
+		t.Fatalf("checkpoint values %v", pts)
+	}
+	if o.Queries() != 6 {
+		t.Fatalf("Queries=%d want 6", o.Queries())
+	}
+	lat := o.OverallLatency()
+	if lat.Count != 6 {
+		t.Fatalf("latency count=%d want 6", lat.Count)
+	}
+}

@@ -1,0 +1,292 @@
+// Package obs is the observability layer of the reproduction: per-query
+// tracing with storage-level attribution, and a unified metrics registry
+// exposing counters, latency histograms and checkpointed time series.
+//
+// The simulator's serving path stays synchronous and single-threaded; the
+// types here are nevertheless mutex-guarded so exports (NDJSON dumps,
+// registry expositions) can run concurrently with a driver.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one attributed step inside a query trace: a list read served by
+// one storage level, a result-cache probe, a cache flush or an eviction.
+type Span struct {
+	// Kind is the step type: "list", "result", "flush_list", "flush_result",
+	// "evict_list", "evict_result".
+	Kind string `json:"kind"`
+	// Term is the inverted-list term, for list-related spans.
+	Term int64 `json:"term,omitempty"`
+	// Level is the storage level that served or held the data
+	// ("mem", "ssd", "hdd"); empty where it does not apply.
+	Level string `json:"level,omitempty"`
+	// Bytes is the payload size of the step.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// QueryTrace is the record of one query through the hierarchy. All times
+// are simulated. Byte fields attribute inverted-list reads per level and,
+// summed over all traces of a run, equal the manager's Stats totals.
+type QueryTrace struct {
+	// Seq numbers completed traces from 0 in completion order.
+	Seq int64 `json:"seq"`
+	// QID is the query's log ID.
+	QID uint64 `json:"qid"`
+	// StartUS is the simulated start time in microseconds.
+	StartUS int64 `json:"start_us"`
+	// ElapsedUS is the simulated response time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Situation is the Table I classification ("S1(R:mem)" ... "S9(I:hdd)"),
+	// or empty for uncached executions.
+	Situation string `json:"situation,omitempty"`
+	// ResultLevel says where the result-cache probe was served ("mem",
+	// "ssd") or "miss"; empty when no result cache exists.
+	ResultLevel string `json:"result_level,omitempty"`
+	// MemBytes, SSDBytes and HDDBytes attribute list bytes per level.
+	MemBytes int64 `json:"mem_bytes"`
+	SSDBytes int64 `json:"ssd_bytes"`
+	HDDBytes int64 `json:"hdd_bytes"`
+	// Flushes counts SSD cache flushes (list extents + result blocks)
+	// triggered while serving this query; FlushBytes their payload.
+	Flushes    int   `json:"flushes,omitempty"`
+	FlushBytes int64 `json:"flush_bytes,omitempty"`
+	// Evictions counts cache evictions (both levels, both data types)
+	// triggered while serving this query.
+	Evictions int `json:"evictions,omitempty"`
+	// HDDReads and HDDSeeks count backing-store operations and how many of
+	// them paid mechanical positioning cost.
+	HDDReads int `json:"hdd_reads,omitempty"`
+	HDDSeeks int `json:"hdd_seeks,omitempty"`
+	// Spans is the ordered step list, capped at the tracer's span limit.
+	Spans []Span `json:"spans,omitempty"`
+	// SpansDropped counts spans discarded past the cap.
+	SpansDropped int `json:"spans_dropped,omitempty"`
+}
+
+// Tracer records per-query traces into a bounded ring buffer and,
+// optionally, streams every completed trace to a writer as NDJSON.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []QueryTrace
+	start int   // index of the oldest element
+	count int   // elements in the ring
+	seq   int64 // next completion sequence number
+
+	cur       *QueryTrace
+	spanLimit int
+
+	enc     *json.Encoder
+	sinkErr error
+}
+
+// DefaultSpanLimit caps the per-trace span list so a pathological query
+// cannot balloon one record.
+const DefaultSpanLimit = 256
+
+// NewTracer returns a tracer whose ring holds the last capacity completed
+// traces (minimum 1; 4096 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{ring: make([]QueryTrace, 0, capacity), spanLimit: DefaultSpanLimit}
+}
+
+// SetSpanLimit overrides the per-trace span cap (0 disables span capture
+// entirely, keeping only the aggregate fields).
+func (t *Tracer) SetSpanLimit(n int) {
+	t.mu.Lock()
+	t.spanLimit = n
+	t.mu.Unlock()
+}
+
+// StreamTo makes the tracer write every completed trace to w as one JSON
+// object per line (NDJSON), in completion order, in addition to the ring.
+func (t *Tracer) StreamTo(w io.Writer) {
+	t.mu.Lock()
+	t.enc = json.NewEncoder(w)
+	t.mu.Unlock()
+}
+
+// Err returns the first error the NDJSON sink reported, if any.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// Begin opens a trace for a query starting at the given simulated time.
+// An unfinished previous trace is discarded.
+func (t *Tracer) Begin(qid uint64, at time.Duration) {
+	t.mu.Lock()
+	t.cur = &QueryTrace{QID: qid, StartUS: at.Microseconds()}
+	t.mu.Unlock()
+}
+
+// Active reports whether a trace is currently open.
+func (t *Tracer) Active() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur != nil
+}
+
+// addSpan appends a span to the current trace under the span cap.
+// The caller holds t.mu.
+func (t *Tracer) addSpan(s Span) {
+	if t.cur == nil {
+		return
+	}
+	if t.spanLimit > 0 && len(t.cur.Spans) < t.spanLimit {
+		t.cur.Spans = append(t.cur.Spans, s)
+	} else {
+		t.cur.SpansDropped++
+	}
+}
+
+// ListRead records a per-term list read served by one level.
+func (t *Tracer) ListRead(term int64, level string, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	switch level {
+	case "mem":
+		t.cur.MemBytes += bytes
+	case "ssd":
+		t.cur.SSDBytes += bytes
+	case "hdd":
+		t.cur.HDDBytes += bytes
+	}
+	t.addSpan(Span{Kind: "list", Term: term, Level: level, Bytes: bytes})
+}
+
+// ResultProbe records the outcome of the result-cache lookup.
+func (t *Tracer) ResultProbe(level string, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	t.cur.ResultLevel = level
+	t.addSpan(Span{Kind: "result", Level: level, Bytes: bytes})
+}
+
+// Flush records an SSD cache flush (list extent or result block) that the
+// current query triggered.
+func (t *Tracer) Flush(kind string, term int64, bytes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	t.cur.Flushes++
+	t.cur.FlushBytes += bytes
+	t.addSpan(Span{Kind: kind, Term: term, Bytes: bytes})
+}
+
+// Evict records a cache eviction the current query triggered.
+func (t *Tracer) Evict(kind string, term int64, level string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	t.cur.Evictions++
+	t.addSpan(Span{Kind: kind, Term: term, Level: level})
+}
+
+// HDDOp records one backing-store operation attributed to the current query.
+func (t *Tracer) HDDOp(seek bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	t.cur.HDDReads++
+	if seek {
+		t.cur.HDDSeeks++
+	}
+}
+
+// SetSituation records the Table I classification of the current query.
+func (t *Tracer) SetSituation(sit string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	t.cur.Situation = sit
+}
+
+// End finalizes the current trace with its simulated elapsed time, pushes
+// it into the ring (overwriting the oldest entry when full) and streams it
+// to the NDJSON sink when one is attached. It returns the completed trace;
+// the zero trace is returned when no trace was open.
+func (t *Tracer) End(elapsed time.Duration) QueryTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return QueryTrace{}
+	}
+	tr := *t.cur
+	t.cur = nil
+	tr.ElapsedUS = elapsed.Microseconds()
+	tr.Seq = t.seq
+	t.seq++
+
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.start] = tr
+		t.start = (t.start + 1) % cap(t.ring)
+	}
+	t.count = len(t.ring)
+
+	if t.enc != nil {
+		if err := t.enc.Encode(&tr); err != nil && t.sinkErr == nil {
+			t.sinkErr = fmt.Errorf("obs: trace sink: %w", err)
+		}
+	}
+	return tr
+}
+
+// Completed returns the total number of traces finished since creation
+// (not just those still in the ring).
+func (t *Tracer) Completed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Recent returns up to n of the most recent completed traces, oldest
+// first. n <= 0 returns everything the ring holds.
+func (t *Tracer) Recent(n int) []QueryTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.count {
+		n = t.count
+	}
+	out := make([]QueryTrace, 0, n)
+	for i := t.count - n; i < t.count; i++ {
+		out = append(out, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// WriteNDJSON dumps the ring's traces (oldest first) to w as NDJSON.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, tr := range t.Recent(0) {
+		if err := enc.Encode(&tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// endTrace completes one minimal trace with the given query ID.
+func endTrace(t *Tracer, qid uint64) QueryTrace {
+	t.Begin(qid, time.Duration(qid)*time.Millisecond)
+	t.ListRead(7, "ssd", 100)
+	return t.End(time.Millisecond)
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	const capacity = 4
+	tr := NewTracer(capacity)
+	for qid := uint64(1); qid <= 10; qid++ {
+		endTrace(tr, qid)
+	}
+	if got := tr.Completed(); got != 10 {
+		t.Fatalf("Completed=%d want 10", got)
+	}
+	recent := tr.Recent(0)
+	if len(recent) != capacity {
+		t.Fatalf("ring holds %d traces, want %d", len(recent), capacity)
+	}
+	// Oldest first: qids 7..10, with monotonically increasing Seq that keeps
+	// counting across the wraparound (Seq = qid-1 here).
+	for i, q := range recent {
+		wantQID := uint64(7 + i)
+		if q.QID != wantQID {
+			t.Fatalf("recent[%d].QID=%d want %d", i, q.QID, wantQID)
+		}
+		if q.Seq != int64(wantQID-1) {
+			t.Fatalf("recent[%d].Seq=%d want %d", i, q.Seq, wantQID-1)
+		}
+	}
+	// Recent(n) returns the n newest, still oldest-first.
+	last2 := tr.Recent(2)
+	if len(last2) != 2 || last2[0].QID != 9 || last2[1].QID != 10 {
+		t.Fatalf("Recent(2) = %+v, want qids 9,10", last2)
+	}
+}
+
+func TestTracerRingPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	endTrace(tr, 1)
+	endTrace(tr, 2)
+	recent := tr.Recent(0)
+	if len(recent) != 2 || recent[0].QID != 1 || recent[1].QID != 2 {
+		t.Fatalf("Recent(0) = %+v, want qids 1,2", recent)
+	}
+}
+
+func TestTracerStreamsNDJSONPastRingCapacity(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2) // tiny ring; the stream must still see everything
+	tr.StreamTo(&buf)
+	for qid := uint64(1); qid <= 5; qid++ {
+		endTrace(tr, qid)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var q QueryTrace
+		if err := json.Unmarshal(sc.Bytes(), &q); err != nil {
+			t.Fatalf("invalid NDJSON line: %v", err)
+		}
+		seqs = append(seqs, q.Seq)
+		if q.SSDBytes != 100 {
+			t.Fatalf("ssd_bytes=%d want 100", q.SSDBytes)
+		}
+	}
+	if len(seqs) != 5 {
+		t.Fatalf("streamed %d records, want 5", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != int64(i) {
+			t.Fatalf("stream seq[%d]=%d want %d", i, s, i)
+		}
+	}
+}
+
+func TestTracerAttribution(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Begin(42, 0)
+	tr.ResultProbe("miss", 0)
+	tr.ListRead(1, "mem", 10)
+	tr.ListRead(2, "ssd", 20)
+	tr.ListRead(3, "hdd", 30)
+	tr.ListRead(1, "mem", 5)
+	tr.Flush("flush_list", 2, 4096)
+	tr.Evict("evict_list", 9, "ssd")
+	tr.HDDOp(true)
+	tr.HDDOp(false)
+	tr.SetSituation("S9(I:hdd)")
+	q := tr.End(3 * time.Millisecond)
+
+	if q.MemBytes != 15 || q.SSDBytes != 20 || q.HDDBytes != 30 {
+		t.Fatalf("byte attribution mem=%d ssd=%d hdd=%d", q.MemBytes, q.SSDBytes, q.HDDBytes)
+	}
+	if q.ResultLevel != "miss" || q.Situation != "S9(I:hdd)" {
+		t.Fatalf("result_level=%q situation=%q", q.ResultLevel, q.Situation)
+	}
+	if q.Flushes != 1 || q.FlushBytes != 4096 || q.Evictions != 1 {
+		t.Fatalf("flushes=%d flush_bytes=%d evictions=%d", q.Flushes, q.FlushBytes, q.Evictions)
+	}
+	if q.HDDReads != 2 || q.HDDSeeks != 1 {
+		t.Fatalf("hdd_reads=%d hdd_seeks=%d", q.HDDReads, q.HDDSeeks)
+	}
+	if q.ElapsedUS != 3000 {
+		t.Fatalf("elapsed_us=%d want 3000", q.ElapsedUS)
+	}
+	// 1 result probe + 4 list reads + 1 flush + 1 evict (HDD ops are
+	// aggregate-only, no spans).
+	if len(q.Spans) != 7 {
+		t.Fatalf("spans=%d want 7", len(q.Spans))
+	}
+}
+
+func TestTracerSpanLimit(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSpanLimit(3)
+	tr.Begin(1, 0)
+	for i := 0; i < 10; i++ {
+		tr.ListRead(int64(i), "mem", 1)
+	}
+	q := tr.End(0)
+	if len(q.Spans) != 3 || q.SpansDropped != 7 {
+		t.Fatalf("spans=%d dropped=%d, want 3/7", len(q.Spans), q.SpansDropped)
+	}
+	if q.MemBytes != 10 {
+		t.Fatalf("aggregate bytes must survive the span cap: mem=%d want 10", q.MemBytes)
+	}
+}
+
+func TestTracerEventsOutsideQueryDropped(t *testing.T) {
+	tr := NewTracer(4)
+	tr.ListRead(1, "mem", 100) // no open trace: must not panic or leak
+	if tr.Active() {
+		t.Fatal("tracer active without Begin")
+	}
+	if q := tr.End(0); q.QID != 0 || tr.Completed() != 0 {
+		t.Fatalf("End without Begin produced a trace: %+v", q)
+	}
+}
+
+func TestTracerWriteNDJSON(t *testing.T) {
+	tr := NewTracer(4)
+	endTrace(tr, 1)
+	endTrace(tr, 2)
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var q QueryTrace
+		if err := json.Unmarshal([]byte(line), &q); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+	}
+}

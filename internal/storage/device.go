@@ -48,6 +48,9 @@ type Op struct {
 	Offset  int64
 	Len     int
 	Latency time.Duration
+	// Seek is true when the operation paid mechanical positioning cost
+	// (HDD head movement + rotation). Always false on solid-state devices.
+	Seek bool
 }
 
 // Device is a byte-addressed simulated block device.

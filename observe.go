@@ -1,0 +1,79 @@
+package hybrid
+
+import (
+	"hybridstore/internal/obs"
+)
+
+// EnableObservability wires an Observer into the assembled system: the
+// cache manager's event stream feeds the per-query tracer, the devices'
+// op hooks attribute seeks and flash traffic, and the registry gains
+// gauges for the run's headline quantities (hit ratios, SSD erase count,
+// write amplification). Call once, after New; Search then produces one
+// trace per query.
+func (s *System) EnableObservability(o *obs.Observer) {
+	s.obs = o
+	if s.Manager != nil {
+		s.Manager.SetEventSink(o.HandleEvent)
+	}
+	if s.HDD != nil {
+		s.HDD.SetOpHook(o.HandleBackingOp)
+	}
+	if s.IndexSSD != nil {
+		s.IndexSSD.SetOpHook(o.HandleBackingOp)
+	}
+	if s.CacheSSD != nil {
+		s.CacheSSD.SetOpHook(o.HandleCacheOp)
+	}
+
+	// Gauges read through s so RestartWarm's manager swap stays covered.
+	if s.Manager != nil {
+		o.Registry.Gauge(obs.GaugeRCHitRatio, func() float64 {
+			if s.Manager == nil {
+				return 0
+			}
+			return s.Manager.Stats().ResultHitRatio()
+		})
+		o.Registry.Gauge(obs.GaugeICHitRatio, func() float64 {
+			if s.Manager == nil {
+				return 0
+			}
+			return s.Manager.Stats().ListHitRatio()
+		})
+		o.Registry.Gauge(obs.GaugeRICHitRatio, func() float64 {
+			if s.Manager == nil {
+				return 0
+			}
+			return s.Manager.Stats().CombinedHitRatio()
+		})
+	}
+	if s.CacheSSD != nil {
+		o.Registry.Gauge(obs.GaugeSSDErases, func() float64 {
+			return float64(s.CacheSSD.Wear().TotalErases)
+		})
+		o.Registry.Gauge(obs.GaugeSSDWriteAmp, func() float64 {
+			return s.CacheSSD.Wear().WriteAmplification
+		})
+	}
+	if s.HDD != nil {
+		o.Registry.Gauge("hdd_seq_hit_ratio", func() float64 {
+			st := s.HDD.Stats()
+			total := st.Reads + st.Writes
+			if total == 0 {
+				return 0
+			}
+			return float64(s.HDD.SequentialHits()) / float64(total)
+		})
+	}
+}
+
+// Obs returns the attached observer, or nil when observability is off.
+func (s *System) Obs() *obs.Observer { return s.obs }
+
+// Progress samples the observer's live progress (zero value when
+// observability is off). Interval fields reset on every call.
+func (s *System) Progress() obs.Progress {
+	if s.obs == nil {
+		return obs.Progress{}
+	}
+	return s.obs.Progress()
+}

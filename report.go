@@ -3,16 +3,18 @@ package hybrid
 import (
 	"fmt"
 	"strings"
+	"time"
 
-	"hybridstore/internal/core"
 	"hybridstore/internal/storage"
 )
 
 // Report renders a human-readable snapshot of the whole system: cache hit
-// ratios, Table I situation tally, device counters and SSD wear.
+// ratios, Table I situation tally, device counters and SSD wear. With
+// observability enabled the situation rows gain p50/p95/p99 latencies from
+// the per-situation histograms.
 func (s *System) Report() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "mode=%d index_on=%d", s.cfg.Mode, s.cfg.IndexOn)
+	fmt.Fprintf(&sb, "mode=%s index_on=%s", s.cfg.Mode, s.cfg.IndexOn)
 	if s.Manager != nil {
 		fmt.Fprintf(&sb, " policy=%s", s.Manager.Policy())
 	}
@@ -31,13 +33,24 @@ func (s *System) Report() string {
 			st.ResultHitsMem, st.ResultHitsSSD, st.ResultMisses,
 			st.RBFlushes, st.ResultWritesElided)
 		sb.WriteString("situations (Table I):\n")
-		for sit := core.S1ResultMem; sit < 9; sit++ {
-			c := st.Situations.Counts[sit]
-			if c == 0 {
+		for _, row := range st.Situations.Table() {
+			if row.Count == 0 {
 				continue
 			}
-			fmt.Fprintf(&sb, "  %-18s P=%.4f T=%v\n",
-				sit, st.Situations.Probability(sit), st.Situations.MeanTime(sit))
+			fmt.Fprintf(&sb, "  %-18s P=%.4f T=%v", row.Sit, row.P, row.MeanTime)
+			if s.obs != nil {
+				lat := s.obs.SituationLatency(row.Sit)
+				fmt.Fprintf(&sb, " p50=%v p95=%v p99=%v",
+					usDur(lat.P50), usDur(lat.P95), usDur(lat.P99))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if s.obs != nil {
+		lat := s.obs.OverallLatency()
+		if lat.Count > 0 {
+			fmt.Fprintf(&sb, "latency (all queries): n=%d mean=%v p50=%v p95=%v p99=%v\n",
+				lat.Count, usDur(lat.Mean), usDur(lat.P50), usDur(lat.P95), usDur(lat.P99))
 		}
 	}
 
@@ -61,4 +74,9 @@ func (s *System) Report() string {
 			w.TotalErases, w.GCPageCopies, w.WriteAmplification, w.FreeBlocks)
 	}
 	return sb.String()
+}
+
+// usDur converts a microsecond quantity to a rounded Duration for display.
+func usDur(us float64) time.Duration {
+	return time.Duration(us * float64(time.Microsecond)).Round(time.Microsecond)
 }

@@ -1,0 +1,171 @@
+package hybrid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hybridstore/internal/core"
+	"hybridstore/internal/obs"
+	"hybridstore/internal/storage"
+)
+
+// SituationReport is one Table I row of the JSON report. Latency quantiles
+// are present only when observability is enabled.
+type SituationReport struct {
+	ID     string  `json:"id"`   // "S1".."S9"
+	Name   string  `json:"name"` // "S1(R:mem)" ...
+	Count  int64   `json:"count"`
+	P      float64 `json:"p"`
+	MeanUS int64   `json:"mean_us"`
+	P50US  float64 `json:"p50_us,omitempty"`
+	P95US  float64 `json:"p95_us,omitempty"`
+	P99US  float64 `json:"p99_us,omitempty"`
+}
+
+// DeviceReport summarizes one device's counters for the JSON report.
+type DeviceReport struct {
+	Name        string `json:"name"`
+	Reads       int64  `json:"reads"`
+	Writes      int64  `json:"writes"`
+	BytesRead   int64  `json:"bytes_read"`
+	BytesWrit   int64  `json:"bytes_written"`
+	AvgAccessUS int64  `json:"avg_access_us"`
+}
+
+// WearReport summarizes one SSD's wear for the JSON report.
+type WearReport struct {
+	Erases             int64   `json:"erases"`
+	MaxBlockErases     int64   `json:"max_block_erases"`
+	GCPageCopies       int64   `json:"gc_page_copies"`
+	WriteAmplification float64 `json:"write_amplification"`
+	FreeBlocks         int     `json:"free_blocks"`
+}
+
+// HitRatioReport carries the Fig 14 ratios.
+type HitRatioReport struct {
+	RC  float64 `json:"rc"`
+	IC  float64 `json:"ic"`
+	RIC float64 `json:"ric"`
+}
+
+// JSONReport is the machine-readable counterpart of System.Report: one
+// self-contained document per run, stable enough to diff two runs with
+// generic JSON tooling. Schema: see README §Observability.
+type JSONReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Mode          string `json:"mode"`
+	IndexOn       string `json:"index_on"`
+	Policy        string `json:"policy,omitempty"`
+	FTL           string `json:"cache_ftl,omitempty"`
+
+	Queries        int64   `json:"queries"`
+	MeanResponseUS int64   `json:"mean_response_us"`
+	ThroughputQPS  float64 `json:"throughput_qps"`
+
+	HitRatios  *HitRatioReport       `json:"hit_ratios,omitempty"`
+	Situations []SituationReport     `json:"situations,omitempty"`
+	Stats      *core.Stats           `json:"stats,omitempty"`
+	Devices    []DeviceReport        `json:"devices"`
+	Wear       map[string]WearReport `json:"wear,omitempty"`
+	Registry   *obs.RegistrySnapshot `json:"registry,omitempty"`
+	Traces     int64                 `json:"traces,omitempty"`
+}
+
+// jsonReportSchemaVersion bumps when the report layout changes shape.
+const jsonReportSchemaVersion = 1
+
+// BuildReport assembles the JSON report from the current system state.
+func (s *System) BuildReport() *JSONReport {
+	r := &JSONReport{
+		SchemaVersion: jsonReportSchemaVersion,
+		Mode:          s.cfg.Mode.String(),
+		IndexOn:       s.cfg.IndexOn.String(),
+	}
+	if s.cfg.Mode == CacheTwoLevel {
+		r.FTL = s.cfg.CacheFTL.String()
+	}
+
+	if s.Manager != nil {
+		st := s.Manager.Stats()
+		r.Policy = s.Manager.Policy().String()
+		r.Queries = st.Queries
+		r.MeanResponseUS = st.MeanQueryTime().Microseconds()
+		r.ThroughputQPS = st.Throughput()
+		r.HitRatios = &HitRatioReport{
+			RC:  st.ResultHitRatio(),
+			IC:  st.ListHitRatio(),
+			RIC: st.CombinedHitRatio(),
+		}
+		r.Stats = &st
+		for _, row := range st.Situations.Table() {
+			sr := SituationReport{
+				ID:     fmt.Sprintf("S%d", int(row.Sit)+1),
+				Name:   row.Sit.String(),
+				Count:  row.Count,
+				P:      row.P,
+				MeanUS: row.MeanTime.Microseconds(),
+			}
+			if s.obs != nil && row.Count > 0 {
+				lat := s.obs.SituationLatency(row.Sit)
+				sr.P50US, sr.P95US, sr.P99US = lat.P50, lat.P95, lat.P99
+			}
+			r.Situations = append(r.Situations, sr)
+		}
+	}
+
+	device := func(name string, st storage.DeviceStats) {
+		r.Devices = append(r.Devices, DeviceReport{
+			Name:        name,
+			Reads:       st.Reads,
+			Writes:      st.Writes,
+			BytesRead:   st.BytesRead,
+			BytesWrit:   st.BytesWrit,
+			AvgAccessUS: st.AvgAccessTime().Microseconds(),
+		})
+	}
+	wear := map[string]WearReport{}
+	if s.HDD != nil {
+		device("hdd", s.HDD.Stats())
+	}
+	if s.IndexSSD != nil {
+		device("index-ssd", s.IndexSSD.Stats())
+		w := s.IndexSSD.Wear()
+		wear["index-ssd"] = WearReport{
+			Erases: w.TotalErases, MaxBlockErases: w.MaxBlockErases,
+			GCPageCopies: w.GCPageCopies, WriteAmplification: w.WriteAmplification,
+			FreeBlocks: w.FreeBlocks,
+		}
+	}
+	if s.CacheSSD != nil {
+		device("cache-ssd", s.CacheSSD.Stats())
+		w := s.CacheSSD.Wear()
+		wear["cache-ssd"] = WearReport{
+			Erases: w.TotalErases, MaxBlockErases: w.MaxBlockErases,
+			GCPageCopies: w.GCPageCopies, WriteAmplification: w.WriteAmplification,
+			FreeBlocks: w.FreeBlocks,
+		}
+	}
+	if len(wear) > 0 {
+		r.Wear = wear
+	}
+
+	if s.obs != nil {
+		snap := s.obs.Registry.Snapshot()
+		r.Registry = &snap
+		r.Traces = s.obs.Tracer.Completed()
+		if s.Manager == nil {
+			r.Queries = s.obs.Queries()
+			lat := s.obs.OverallLatency()
+			r.MeanResponseUS = int64(lat.Mean)
+		}
+	}
+	return r
+}
+
+// WriteJSONReport writes the indented JSON report to w.
+func (s *System) WriteJSONReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.BuildReport())
+}
