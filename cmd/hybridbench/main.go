@@ -5,10 +5,13 @@
 //
 //	hybridbench -list
 //	hybridbench -exp fig14b
-//	hybridbench -exp all -scale full
+//	hybridbench -exp all -scale full -jobs 8
 //
 // Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// EXPERIMENTS.md for the paper-vs-measured record. Sweep points run on a
+// bounded worker pool (-jobs, default all CPUs); output is byte-identical
+// for every -jobs value, and timing chatter goes to stderr so stdout can
+// be diffed across runs.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,12 +27,56 @@ import (
 	"hybridstore/internal/obs"
 )
 
+// usageExit prints an error plus flag usage to stderr and exits non-zero.
+func usageExit(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// resolveScale maps the -scale flag to a Scale.
+func resolveScale(name string) (experiments.Scale, error) {
+	switch name {
+	case "full":
+		return experiments.FullScale(), nil
+	case "small":
+		return experiments.SmallScale(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (want full or small)", name)
+	}
+}
+
+// resolveTargets maps the -exp flag to experiments, in paper order for
+// "all" and in the given order for a comma-separated list.
+func resolveTargets(expFlag string) ([]experiments.Experiment, error) {
+	if expFlag == "all" {
+		return experiments.All(), nil
+	}
+	var targets []experiments.Experiment
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			return nil, fmt.Errorf("empty experiment ID in -exp %q; use -list for valid IDs", expFlag)
+		}
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q; use -list for valid IDs", id)
+		}
+		targets = append(targets, e)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no experiments selected by -exp %q; use -list for valid IDs", expFlag)
+	}
+	return targets, nil
+}
+
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+		expFlag   = flag.String("exp", "all", "experiment ID to run (see -list), comma-separated list, or 'all'")
 		scaleFlag = flag.String("scale", "full", "workload scale: 'full' or 'small'")
+		jobsFlag  = flag.Int("jobs", runtime.NumCPU(), "max sweep points run concurrently (must be >= 1)")
 		listFlag  = flag.Bool("list", false, "list experiments and exit")
-		traceFlag = flag.String("trace", "", "write NDJSON query traces from every measured run to this file")
+		traceFlag = flag.String("trace", "", "write NDJSON query traces from every measured run to this file (forces -jobs 1)")
 	)
 	flag.Parse()
 
@@ -38,19 +86,28 @@ func main() {
 		}
 		return
 	}
+	if args := flag.Args(); len(args) > 0 {
+		usageExit("unexpected argument %q", args[0])
+	}
+	if *jobsFlag < 1 {
+		usageExit("-jobs must be >= 1, got %d", *jobsFlag)
+	}
 
-	var sc experiments.Scale
-	switch *scaleFlag {
-	case "full":
-		sc = experiments.FullScale()
-	case "small":
-		sc = experiments.SmallScale()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want full or small)\n", *scaleFlag)
-		os.Exit(2)
+	sc, err := resolveScale(*scaleFlag)
+	if err != nil {
+		usageExit("%v", err)
+	}
+	sc.Jobs = *jobsFlag
+
+	targets, err := resolveTargets(*expFlag)
+	if err != nil {
+		usageExit("%v", err)
 	}
 
 	if *traceFlag != "" {
+		if *jobsFlag > 1 {
+			fmt.Fprintln(os.Stderr, "note: -trace serializes execution (running with -jobs 1)")
+		}
 		f, err := os.Create(*traceFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -72,27 +129,22 @@ func main() {
 		}()
 	}
 
-	var targets []experiments.Experiment
-	if *expFlag == "all" {
-		targets = experiments.All()
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			e, ok := experiments.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-				os.Exit(2)
-			}
-			targets = append(targets, e)
-		}
-	}
-
+	out := bufio.NewWriterSize(os.Stdout, 1<<16)
+	defer out.Flush()
+	suiteStart := time.Now()
 	for _, e := range targets {
-		fmt.Printf("==== %s — %s ====\n", e.ID, e.Title)
+		fmt.Fprintf(out, "==== %s — %s ====\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(os.Stdout, sc); err != nil {
+		if err := e.Run(out, sc); err != nil {
+			out.Flush()
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(out)
+		out.Flush()
+		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	images, builds, bytes := experiments.ArtifactStats()
+	fmt.Fprintf(os.Stderr, "suite completed in %v (jobs=%d; artifact cache: %d index builds for %d specs, %.1f MiB retained)\n",
+		time.Since(suiteStart).Round(time.Millisecond), sc.Jobs, builds, images, float64(bytes)/(1<<20))
 }

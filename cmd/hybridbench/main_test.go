@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveScale(t *testing.T) {
+	if _, err := resolveScale("full"); err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	if _, err := resolveScale("small"); err != nil {
+		t.Fatalf("small: %v", err)
+	}
+	if _, err := resolveScale("mega"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestResolveTargets(t *testing.T) {
+	all, err := resolveTargets("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 12 {
+		t.Fatalf("all resolved to only %d experiments", len(all))
+	}
+
+	some, err := resolveTargets("fig17, fig14b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].ID != "fig17" || some[1].ID != "fig14b" {
+		t.Fatalf("comma list resolved to %+v", some)
+	}
+
+	for _, bad := range []string{"nonsense", "fig17,,fig14b", ""} {
+		if _, err := resolveTargets(bad); err == nil {
+			t.Fatalf("bad -exp %q accepted", bad)
+		} else if !strings.Contains(err.Error(), "-list") {
+			t.Fatalf("error for %q does not point at -list: %v", bad, err)
+		}
+	}
+}

@@ -136,6 +136,13 @@ type Config struct {
 	// CacheFTL selects the cache SSD's flash translation layer
 	// (default: the paper's ideal page-mapped baseline).
 	CacheFTL FTLKind
+	// IndexImage, when non-nil, supplies a prebuilt serialized index for
+	// Collection: New stamps it onto the index device instead of
+	// re-synthesizing postings, which skips the CPU-heavy part of setup
+	// when many systems share one collection. The image's spec must equal
+	// Collection. Stamping charges the same simulated device writes a
+	// direct build would, so the resulting system is indistinguishable.
+	IndexImage *index.Image
 }
 
 // DefaultConfig returns a laptop-scale rendition of the paper's evaluation
@@ -214,7 +221,17 @@ func New(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("hybrid: unknown index placement %d", cfg.IndexOn)
 	}
-	ix, err := index.Build(ixDev, cfg.Collection)
+	var ix *index.Index
+	var err error
+	if cfg.IndexImage != nil {
+		if cfg.IndexImage.Spec() != cfg.Collection {
+			return nil, fmt.Errorf("hybrid: index image built for %+v, config wants %+v",
+				cfg.IndexImage.Spec(), cfg.Collection)
+		}
+		ix, err = cfg.IndexImage.Stamp(ixDev)
+	} else {
+		ix, err = index.Build(ixDev, cfg.Collection)
+	}
 	if err != nil {
 		return nil, err
 	}

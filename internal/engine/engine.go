@@ -12,7 +12,6 @@
 package engine
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 	"time"
@@ -112,9 +111,21 @@ type ExecStats struct {
 }
 
 // Engine executes queries against a ListSource.
+//
+// An Engine reuses internal scratch state (scan buffer, score accumulator,
+// top-K heap) across Execute calls to keep the steady-state query path
+// allocation-free; it is therefore not safe for concurrent use. Give each
+// goroutine its own Engine.
 type Engine struct {
 	src ListSource
 	cfg Config
+
+	// Per-Execute scratch, lazily allocated and reused.
+	scanBuf  []byte             // chunk read buffer (cfg.ChunkBytes)
+	postings []workload.Posting // decoded-chunk scratch
+	scores   map[uint32]float64 // per-doc score accumulator
+	top      *topK
+	terms    []workload.TermID
 }
 
 // New builds an engine over src.
@@ -141,16 +152,27 @@ func idf(numDocs, df int64) float64 {
 // maximizing early-termination effect.
 func (e *Engine) Execute(q workload.Query) (*Result, ExecStats, error) {
 	var stats ExecStats
-	scores := make(map[uint32]float64)
+	if e.scores == nil {
+		e.scores = make(map[uint32]float64, 1<<12)
+	} else {
+		clear(e.scores)
+	}
+	scores := e.scores
 
-	terms := make([]workload.TermID, len(q.Terms))
-	copy(terms, q.Terms)
+	e.terms = append(e.terms[:0], q.Terms...)
+	terms := e.terms
 	sort.Slice(terms, func(i, j int) bool {
 		return e.src.ListBytes(terms[i]) < e.src.ListBytes(terms[j])
 	})
 
 	numDocs := e.src.NumDocs()
-	top := newTopK(e.cfg.TopK)
+	if e.top == nil {
+		e.top = newTopK(e.cfg.TopK)
+	} else {
+		e.top.reset()
+	}
+	top := e.top
+	stats.Terms = make([]TermStats, 0, len(terms))
 	for _, t := range terms {
 		ts, err := e.scanList(t, idf(numDocs, e.src.ListBytes(t)/index.PostingSize), scores, top, &stats)
 		if err != nil {
@@ -168,7 +190,10 @@ func (e *Engine) Execute(q workload.Query) (*Result, ExecStats, error) {
 func (e *Engine) scanList(t workload.TermID, w float64, scores map[uint32]float64, top *topK, stats *ExecStats) (TermStats, error) {
 	total := e.src.ListBytes(t)
 	ts := TermStats{Term: t, ListBytes: total}
-	buf := make([]byte, e.cfg.ChunkBytes)
+	if e.scanBuf == nil {
+		e.scanBuf = make([]byte, e.cfg.ChunkBytes)
+	}
+	buf := e.scanBuf
 	var off int64
 	for off < total {
 		n := int64(len(buf))
@@ -181,7 +206,8 @@ func (e *Engine) scanList(t workload.TermID, w float64, scores map[uint32]float6
 		off += n
 		ts.BytesRead += n
 
-		postings := index.DecodePostings(buf[:n])
+		e.postings = index.AppendPostings(e.postings[:0], buf[:n])
+		postings := e.postings
 		for _, p := range postings {
 			s := scores[p.Doc] + float64(p.TF)*w
 			scores[p.Doc] = s
@@ -212,14 +238,30 @@ func (e *Engine) scanList(t workload.TermID, w float64, scores map[uint32]float6
 // topK maintains the K best (doc, score) pairs seen so far. Scores for a
 // document may be offered repeatedly as later lists add to its total; the
 // structure keeps the latest offer per document.
+//
+// The min-heap is hand-rolled rather than container/heap so offers don't
+// box entries through interface{} on every push/fix; the sift order is
+// identical to the standard library's, so eviction decisions (and thus
+// results) match the previous implementation exactly.
 type topK struct {
 	k     int
-	heap  docHeap
+	heap  []scoredRef
 	index map[uint32]int // doc -> heap position
+}
+
+type scoredRef struct {
+	doc   uint32
+	score float64
 }
 
 func newTopK(k int) *topK {
 	return &topK{k: k, index: make(map[uint32]int, k)}
+}
+
+// reset empties the structure for reuse, keeping its allocations.
+func (t *topK) reset() {
+	t.heap = t.heap[:0]
+	clear(t.index)
 }
 
 func (t *topK) full() bool { return len(t.heap) >= t.k }
@@ -232,23 +274,71 @@ func (t *topK) min() float64 {
 	return t.heap[0].score
 }
 
+func (t *topK) less(i, j int) bool { return t.heap[i].score < t.heap[j].score }
+
+func (t *topK) swap(i, j int) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.index[t.heap[i].doc] = i
+	t.index[t.heap[j].doc] = j
+}
+
+func (t *topK) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !t.less(j, i) {
+			break
+		}
+		t.swap(i, j)
+		j = i
+	}
+}
+
+func (t *topK) down(i0 int) bool {
+	n := len(t.heap)
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && t.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !t.less(j, i) {
+			break
+		}
+		t.swap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (t *topK) fix(i int) {
+	if !t.down(i) {
+		t.up(i)
+	}
+}
+
 // offer updates doc's score (monotone increases only, as scores accumulate).
 func (t *topK) offer(doc uint32, score float64) {
 	if pos, ok := t.index[doc]; ok {
 		t.heap[pos].score = score
-		heap.Fix(&t.heap, pos)
+		t.fix(pos)
 		return
 	}
 	if len(t.heap) < t.k {
-		heap.Push(&t.heap, scoredRef{doc: doc, score: score, owner: t})
+		t.index[doc] = len(t.heap)
+		t.heap = append(t.heap, scoredRef{doc: doc, score: score})
+		t.up(len(t.heap) - 1)
 		return
 	}
 	if score > t.heap[0].score {
 		evicted := t.heap[0].doc
 		delete(t.index, evicted)
-		t.heap[0] = scoredRef{doc: doc, score: score, owner: t}
+		t.heap[0] = scoredRef{doc: doc, score: score}
 		t.index[doc] = 0
-		heap.Fix(&t.heap, 0)
+		t.fix(0)
 	}
 }
 
@@ -265,33 +355,4 @@ func (t *topK) ranked() []ScoredDoc {
 		return out[i].Doc < out[j].Doc
 	})
 	return out
-}
-
-type scoredRef struct {
-	doc   uint32
-	score float64
-	owner *topK
-}
-
-type docHeap []scoredRef
-
-func (h docHeap) Len() int           { return len(h) }
-func (h docHeap) Less(i, j int) bool { return h[i].score < h[j].score }
-func (h docHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].owner.index[h[i].doc] = i
-	h[j].owner.index[h[j].doc] = j
-}
-func (h *docHeap) Push(x any) {
-	e := x.(scoredRef)
-	e.owner.index[e.doc] = len(*h)
-	*h = append(*h, e)
-}
-func (h *docHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	delete(e.owner.index, e.doc)
-	*h = old[:n-1]
-	return e
 }

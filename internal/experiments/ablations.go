@@ -30,8 +30,16 @@ func Ablations(w io.Writer, sc Scale) error {
 		{"CBSLRU, static 75%", core.PolicyCBSLRU, func(c *core.Config) { c.StaticFraction = 0.75 }},
 	}
 
-	tab := metrics.NewTable("variant", "RIC", "resp_ms", "erases", "ssd_write_MB")
-	for _, v := range variants {
+	// One point per variant on the worker pool; all stamp the same index.
+	type row struct {
+		ric     float64
+		respMs  float64
+		erases  int64
+		writeMB float64
+	}
+	rows := make([]row, len(variants))
+	err := sc.forPoints(len(variants), func(p int) error {
+		v := variants[p]
 		cfg := sc.cacheConfig(v.policy)
 		if v.mutate != nil {
 			v.mutate(&cfg)
@@ -44,13 +52,23 @@ func Ablations(w io.Writer, sc Scale) error {
 		if err != nil {
 			return err
 		}
-		tab.AddRow(v.name,
-			ms.CombinedHitRatio(),
-			float64(rs.MeanResponseTime().Microseconds())/1000,
-			sys.CacheSSD.Wear().TotalErases,
-			fmt.Sprintf("%.1f", float64(ms.ListBytesToSSD+ms.ResultBytesToSSD)/(1<<20)))
+		rows[p] = row{
+			ric:     ms.CombinedHitRatio(),
+			respMs:  float64(rs.MeanResponseTime().Microseconds()) / 1000,
+			erases:  sys.CacheSSD.Wear().TotalErases,
+			writeMB: float64(ms.ListBytesToSSD+ms.ResultBytesToSSD) / (1 << 20),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	_, err := io.WriteString(w, tab.String())
+	tab := metrics.NewTable("variant", "RIC", "resp_ms", "erases", "ssd_write_MB")
+	for p, v := range variants {
+		tab.AddRow(v.name, rows[p].ric, rows[p].respMs, rows[p].erases,
+			fmt.Sprintf("%.1f", rows[p].writeMB))
+	}
+	_, err = io.WriteString(w, tab.String())
 	fmt.Fprintln(w, "(each row isolates one design choice of §VI; erases are cumulative from cold)")
 	return err
 }

@@ -1,0 +1,70 @@
+package experiments
+
+// Shared-artifact cache.
+//
+// Sweep points that agree on a CollectionSpec — every setup of Fig 16 at
+// one doc count, every policy of Fig 17, every experiment pinned to
+// BaseDocs — used to re-synthesize the identical collection and index per
+// point. The cache builds each distinct spec's index image once (guarded
+// singleflight-style so concurrent points wanting the same spec block on
+// one build) and stamps the shared image onto every system's private
+// device. A full-scale suite touches well under ten distinct specs, so the
+// cache is deliberately unbounded; ResetArtifacts exists for tests and
+// long-lived embedders.
+
+import (
+	"sync"
+
+	"hybridstore/internal/index"
+	"hybridstore/internal/workload"
+)
+
+type imageEntry struct {
+	once sync.Once
+	img  *index.Image
+	err  error
+}
+
+var artifactMu sync.Mutex
+var artifactImages = make(map[workload.CollectionSpec]*imageEntry)
+var artifactBuilds int64
+var artifactBytes int64
+
+// sharedImage returns the index image for spec, building it at most once
+// per process no matter how many points request it concurrently.
+func sharedImage(spec workload.CollectionSpec) (*index.Image, error) {
+	artifactMu.Lock()
+	e, ok := artifactImages[spec]
+	if !ok {
+		e = &imageEntry{}
+		artifactImages[spec] = e
+	}
+	artifactMu.Unlock()
+	e.once.Do(func() {
+		e.img, e.err = index.BuildImage(spec)
+		artifactMu.Lock()
+		artifactBuilds++
+		if e.img != nil {
+			artifactBytes += e.img.Bytes()
+		}
+		artifactMu.Unlock()
+	})
+	return e.img, e.err
+}
+
+// ArtifactStats reports cache contents: distinct specs seen, index builds
+// performed, and bytes of serialized index retained.
+func ArtifactStats() (images int, builds int64, bytes int64) {
+	artifactMu.Lock()
+	defer artifactMu.Unlock()
+	return len(artifactImages), artifactBuilds, artifactBytes
+}
+
+// ResetArtifacts drops every cached image.
+func ResetArtifacts() {
+	artifactMu.Lock()
+	defer artifactMu.Unlock()
+	artifactImages = make(map[workload.CollectionSpec]*imageEntry)
+	artifactBuilds = 0
+	artifactBytes = 0
+}

@@ -25,11 +25,17 @@ func DynamicScenario(w io.Writer, sc Scale) error {
 		{"TTL 10s", 10 * time.Second},
 		{"TTL 2s", 2 * time.Second},
 	}
-	tab := metrics.NewTable("scenario", "RC", "IC", "RIC", "resp_ms", "expired(R)", "expired(I)")
-	for _, c := range ttls {
+	// One point per TTL scenario on the worker pool.
+	type row struct {
+		rc, ic, ric        float64
+		respMs             float64
+		expiredR, expiredI int64
+	}
+	rows := make([]row, len(ttls))
+	err := sc.forPoints(len(ttls), func(p int) error {
 		cfg := sc.cacheConfig(core.PolicyCBLRU)
-		cfg.ResultTTL = c.ttl
-		cfg.ListTTL = c.ttl
+		cfg.ResultTTL = ttls[p].ttl
+		cfg.ListTTL = ttls[p].ttl
 		sys, err := sc.system(core.PolicyCBLRU, hybrid.CacheTwoLevel, hybrid.IndexOnHDD, sc.BaseDocs, cfg)
 		if err != nil {
 			return err
@@ -38,10 +44,23 @@ func DynamicScenario(w io.Writer, sc Scale) error {
 		if err != nil {
 			return err
 		}
-		tab.AddRow(c.name,
-			ms.ResultHitRatio(), ms.ListHitRatio(), ms.CombinedHitRatio(),
-			float64(rs.MeanResponseTime().Microseconds())/1000,
-			ms.ResultsExpired, ms.ListsExpired)
+		rows[p] = row{
+			rc:       ms.ResultHitRatio(),
+			ic:       ms.ListHitRatio(),
+			ric:      ms.CombinedHitRatio(),
+			respMs:   float64(rs.MeanResponseTime().Microseconds()) / 1000,
+			expiredR: ms.ResultsExpired,
+			expiredI: ms.ListsExpired,
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable("scenario", "RC", "IC", "RIC", "resp_ms", "expired(R)", "expired(I)")
+	for p, c := range ttls {
+		tab.AddRow(c.name, rows[p].rc, rows[p].ic, rows[p].ric, rows[p].respMs,
+			rows[p].expiredR, rows[p].expiredI)
 	}
 	if _, err := io.WriteString(w, tab.String()); err != nil {
 		return err

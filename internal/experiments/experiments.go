@@ -48,7 +48,14 @@ type Scale struct {
 	SizeSteps int
 	// Obs, when non-nil, is attached to every measured system so experiment
 	// runs emit per-query traces and registry metrics (hybridbench -trace).
+	// Attaching an observer forces serial execution (Jobs = 1): the tracer
+	// assumes one query in flight at a time.
 	Obs *obs.Observer
+	// Jobs bounds how many sweep points run concurrently (hybridbench
+	// -jobs). Values < 1 mean serial. Output is byte-identical for every
+	// Jobs value: points are independent deterministic systems and rows
+	// are assembled in point order.
+	Jobs int
 }
 
 // FullScale is the reference configuration: the regime of the paper's
@@ -119,16 +126,24 @@ func (sc Scale) cacheConfig(policy core.Policy) core.Config {
 	return cfg
 }
 
-// system assembles a hybrid.System for the given knobs.
+// system assembles a hybrid.System for the given knobs. The index is
+// stamped from the shared artifact cache, so sweep points agreeing on
+// (docs, vocab, seed, ...) synthesize the collection once.
 func (sc Scale) system(policy core.Policy, mode hybrid.CacheMode, indexOn hybrid.IndexPlacement, numDocs int, cache core.Config) (*hybrid.System, error) {
+	spec := sc.collection(numDocs)
+	img, err := sharedImage(spec)
+	if err != nil {
+		return nil, err
+	}
 	return hybrid.New(hybrid.Config{
-		Collection: sc.collection(numDocs),
+		Collection: spec,
 		QueryLog:   sc.log(),
 		Cache:      cache,
 		Mode:       mode,
 		IndexOn:    indexOn,
 		Engine:     sc.engineConfig(),
 		UseModelPU: true,
+		IndexImage: img,
 	})
 }
 
@@ -136,7 +151,9 @@ func (sc Scale) system(policy core.Policy, mode hybrid.CacheMode, indexOn hybrid
 // systems are statically warmed from the query log first (§VI-C2).
 func runMeasured(sys *hybrid.System, sc Scale) (hybrid.RunStats, core.Stats, error) {
 	if sc.Obs != nil {
-		sys.EnableObservability(sc.Obs)
+		// Fork per system: every system's clock restarts at zero, so
+		// gauges/series must be private while traces share one stream.
+		sys.EnableObservability(sc.Obs.Fork())
 	}
 	if sys.Manager != nil && sys.Manager.Policy() == core.PolicyCBSLRU {
 		if _, err := sys.WarmupStatic(2 * sc.WarmQueries); err != nil {

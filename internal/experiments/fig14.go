@@ -27,81 +27,100 @@ func (sc Scale) memSizes() []int64 {
 // Fig14aHitRatioComposition regenerates Fig 14(a): hit ratio of a
 // result-only cache (RC), a list-only cache (IC) and the combined cache
 // (RIC, 20/80 split) as the memory size grows. One-level (memory) caches,
-// CBLRU policy, as the paper's composition study.
+// CBLRU policy, as the paper's composition study. Each (size, composition)
+// pair is one independent point on the worker pool.
 func Fig14aHitRatioComposition(w io.Writer, sc Scale) error {
-	tab := metrics.NewTable("cache_size_MB", "RC", "IC", "RIC")
-	for _, size := range sc.memSizes() {
-		row := make([]float64, 3)
-		for i, comp := range []string{"RC", "IC", "RIC"} {
-			cfg := sc.cacheConfig(core.PolicyCBLRU)
-			cfg.SSDResultBytes, cfg.SSDListBytes = 0, 0
-			switch comp {
-			case "RC":
-				cfg.MemResultBytes = size - cfg.ResultEntryBytes
-				cfg.MemListBytes = cfg.ResultEntryBytes // token IC
-			case "IC":
-				cfg.MemResultBytes = cfg.ResultEntryBytes // one entry
-				cfg.MemListBytes = size - cfg.ResultEntryBytes
-			case "RIC":
-				cfg.MemResultBytes = size / 5
-				cfg.MemListBytes = size - size/5
-			}
-			sys, err := sc.system(core.PolicyCBLRU, hybrid.CacheOneLevel, hybrid.IndexOnHDD, sc.BaseDocs, cfg)
-			if err != nil {
-				return err
-			}
-			_, ms, err := runMeasured(sys, sc)
-			if err != nil {
-				return err
-			}
-			switch comp {
-			case "RC":
-				row[i] = ms.ResultHitRatio()
-			case "IC":
-				row[i] = ms.ListHitRatio()
-			case "RIC":
-				row[i] = ms.CombinedHitRatio()
-			}
+	sizes := sc.memSizes()
+	comps := []string{"RC", "IC", "RIC"}
+	ratios := make([]float64, len(sizes)*len(comps))
+	err := sc.forPoints(len(ratios), func(p int) error {
+		size := sizes[p/len(comps)]
+		comp := comps[p%len(comps)]
+		cfg := sc.cacheConfig(core.PolicyCBLRU)
+		cfg.SSDResultBytes, cfg.SSDListBytes = 0, 0
+		switch comp {
+		case "RC":
+			cfg.MemResultBytes = size - cfg.ResultEntryBytes
+			cfg.MemListBytes = cfg.ResultEntryBytes // token IC
+		case "IC":
+			cfg.MemResultBytes = cfg.ResultEntryBytes // one entry
+			cfg.MemListBytes = size - cfg.ResultEntryBytes
+		case "RIC":
+			cfg.MemResultBytes = size / 5
+			cfg.MemListBytes = size - size/5
 		}
+		sys, err := sc.system(core.PolicyCBLRU, hybrid.CacheOneLevel, hybrid.IndexOnHDD, sc.BaseDocs, cfg)
+		if err != nil {
+			return err
+		}
+		_, ms, err := runMeasured(sys, sc)
+		if err != nil {
+			return err
+		}
+		switch comp {
+		case "RC":
+			ratios[p] = ms.ResultHitRatio()
+		case "IC":
+			ratios[p] = ms.ListHitRatio()
+		case "RIC":
+			ratios[p] = ms.CombinedHitRatio()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable("cache_size_MB", "RC", "IC", "RIC")
+	for si, size := range sizes {
+		row := ratios[si*len(comps) : (si+1)*len(comps)]
 		tab.AddRow(fmt.Sprintf("%.1f", float64(size)/(1<<20)), row[0], row[1], row[2])
 	}
-	_, err := io.WriteString(w, tab.String())
+	_, err = io.WriteString(w, tab.String())
 	fmt.Fprintln(w, "(paper: ratios grow with capacity then flatten; RC saturates early, so IC deserves the larger share — the basis of the 20/80 split)")
 	return err
 }
 
 // Fig14bHitRatioPolicies regenerates Fig 14(b): combined hit ratio of LRU,
 // CBLRU and CBSLRU over the cache-size sweep on the full two-level
-// hierarchy, plus the paper's headline average improvements.
+// hierarchy, plus the paper's headline average improvements. Each
+// (size, policy) pair is one independent point on the worker pool.
 func Fig14bHitRatioPolicies(w io.Writer, sc Scale) error {
 	policies := []core.Policy{core.PolicyLRU, core.PolicyCBLRU, core.PolicyCBSLRU}
+	sizes := sc.memSizes()
+	ratios := make([]float64, len(sizes)*len(policies))
+	err := sc.forPoints(len(ratios), func(p int) error {
+		size := sizes[p/len(policies)]
+		policy := policies[p%len(policies)]
+		cfg := sc.cacheConfig(policy)
+		cfg.MemResultBytes = size / 5
+		cfg.MemListBytes = size - size/5
+		sys, err := sc.system(policy, hybrid.CacheTwoLevel, hybrid.IndexOnHDD, sc.BaseDocs, cfg)
+		if err != nil {
+			return err
+		}
+		_, ms, err := runMeasured(sys, sc)
+		if err != nil {
+			return err
+		}
+		ratios[p] = ms.CombinedHitRatio()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	tab := metrics.NewTable("cache_size_MB", "LRU", "CBLRU", "CBSLRU")
 	var sums [3]float64
-	var points int
-	for _, size := range sc.memSizes() {
-		var row [3]float64
-		for i, policy := range policies {
-			cfg := sc.cacheConfig(policy)
-			cfg.MemResultBytes = size / 5
-			cfg.MemListBytes = size - size/5
-			sys, err := sc.system(policy, hybrid.CacheTwoLevel, hybrid.IndexOnHDD, sc.BaseDocs, cfg)
-			if err != nil {
-				return err
-			}
-			_, ms, err := runMeasured(sys, sc)
-			if err != nil {
-				return err
-			}
-			row[i] = ms.CombinedHitRatio()
-			sums[i] += row[i]
+	for si, size := range sizes {
+		row := ratios[si*len(policies) : (si+1)*len(policies)]
+		for i, v := range row {
+			sums[i] += v
 		}
-		points++
 		tab.AddRow(fmt.Sprintf("%.1f", float64(size)/(1<<20)), row[0], row[1], row[2])
 	}
 	if _, err := io.WriteString(w, tab.String()); err != nil {
 		return err
 	}
-	n := float64(points)
+	n := float64(len(sizes))
 	fmt.Fprintf(w, "average hit-ratio gain vs LRU: CBLRU %+.2f pts, CBSLRU %+.2f pts\n",
 		100*(sums[1]-sums[0])/n, 100*(sums[2]-sums[0])/n)
 	fmt.Fprintln(w, "(paper: CBLRU +9.05, CBSLRU +13.31 percentage points on average)")

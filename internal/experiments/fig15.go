@@ -12,31 +12,45 @@ import (
 // Fig15NoCache regenerates Fig 15: uncached retrieval with the index on
 // HDD vs SSD, response time and throughput over collection size. The
 // paper's observation: response time rises sharply with collection size,
-// and raw SSD index storage helps only modestly at this scale.
+// and raw SSD index storage helps only modestly at this scale. Each
+// (docs, placement) pair is one independent point on the worker pool.
 func Fig15NoCache(w io.Writer, sc Scale) error {
-	tab := metrics.NewTable("docs", "HDD_resp_ms", "SSD_resp_ms", "HDD_qps", "SSD_qps")
 	queries := sc.MeasureQueries / 4
 	if queries < 200 {
 		queries = 200
 	}
-	for _, docs := range sc.docSweep() {
-		var resp [2]float64
-		var qps [2]float64
-		for i, placement := range []hybrid.IndexPlacement{hybrid.IndexOnHDD, hybrid.IndexOnSSD} {
-			sys, err := sc.system(core.PolicyLRU, hybrid.CacheNone, placement, docs, core.Config{})
-			if err != nil {
-				return err
-			}
-			rs, err := sys.Run(queries)
-			if err != nil {
-				return err
-			}
-			resp[i] = float64(rs.MeanResponseTime().Microseconds()) / 1000
-			qps[i] = rs.Throughput()
-		}
-		tab.AddRow(docs, resp[0], resp[1], fmtQPS(qps[0]), fmtQPS(qps[1]))
+	docs := sc.docSweep()
+	placements := []hybrid.IndexPlacement{hybrid.IndexOnHDD, hybrid.IndexOnSSD}
+	type cell struct {
+		resp float64
+		qps  float64
 	}
-	_, err := io.WriteString(w, tab.String())
+	cells := make([]cell, len(docs)*len(placements))
+	err := sc.forPoints(len(cells), func(p int) error {
+		sys, err := sc.system(core.PolicyLRU, hybrid.CacheNone, placements[p%len(placements)],
+			docs[p/len(placements)], core.Config{})
+		if err != nil {
+			return err
+		}
+		rs, err := sys.Run(queries)
+		if err != nil {
+			return err
+		}
+		cells[p] = cell{
+			resp: float64(rs.MeanResponseTime().Microseconds()) / 1000,
+			qps:  rs.Throughput(),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable("docs", "HDD_resp_ms", "SSD_resp_ms", "HDD_qps", "SSD_qps")
+	for di, d := range docs {
+		hdd, ssd := cells[di*2], cells[di*2+1]
+		tab.AddRow(d, hdd.resp, ssd.resp, fmtQPS(hdd.qps), fmtQPS(ssd.qps))
+	}
+	_, err = io.WriteString(w, tab.String())
 	fmt.Fprintln(w, "(paper: both degrade with collection size; SSD helps but not dramatically without cache)")
 	return err
 }

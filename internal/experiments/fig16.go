@@ -34,7 +34,8 @@ func (sc Scale) fig16Config(twoLevel, withLists bool) core.Config {
 // Fig16OneVsTwoLevel regenerates Fig 16: (a) a one-level result cache with
 // the index on HDD vs SSD; (b) one-level vs two-level caches on HDD,
 // result-only vs result+list. Response time and throughput per collection
-// size.
+// size. Each (docs, setup) pair is one independent point on the worker
+// pool; the four setups at one doc count stamp the same cached index image.
 func Fig16OneVsTwoLevel(w io.Writer, sc Scale) error {
 	type setup struct {
 		name      string
@@ -49,25 +50,43 @@ func Fig16OneVsTwoLevel(w io.Writer, sc Scale) error {
 		{"2LC(R)-HDD", hybrid.CacheTwoLevel, hybrid.IndexOnHDD, true, false},
 		{"2LC(RI)-HDD", hybrid.CacheTwoLevel, hybrid.IndexOnHDD, true, true},
 	}
+	docs := sc.docSweep()
+	type cell struct {
+		resp float64
+		qps  float64
+	}
+	cells := make([]cell, len(docs)*len(setups))
+	err := sc.forPoints(len(cells), func(p int) error {
+		st := setups[p%len(setups)]
+		cfg := sc.fig16Config(st.twoLevel, st.withLists)
+		sys, err := sc.system(core.PolicyCBLRU, st.mode, st.placement, docs[p/len(setups)], cfg)
+		if err != nil {
+			return err
+		}
+		rs, _, err := runMeasured(sys, sc)
+		if err != nil {
+			return err
+		}
+		cells[p] = cell{
+			resp: float64(rs.MeanResponseTime().Microseconds()) / 1000,
+			qps:  rs.Throughput(),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	respTab := metrics.NewTable("docs", setups[0].name, setups[1].name, setups[2].name, setups[3].name)
 	thrTab := metrics.NewTable("docs", setups[0].name, setups[1].name, setups[2].name, setups[3].name)
-	for _, docs := range sc.docSweep() {
+	for di, d := range docs {
 		resp := make([]any, 0, len(setups)+1)
 		thr := make([]any, 0, len(setups)+1)
-		resp = append(resp, docs)
-		thr = append(thr, docs)
-		for _, st := range setups {
-			cfg := sc.fig16Config(st.twoLevel, st.withLists)
-			sys, err := sc.system(core.PolicyCBLRU, st.mode, st.placement, docs, cfg)
-			if err != nil {
-				return err
-			}
-			rs, _, err := runMeasured(sys, sc)
-			if err != nil {
-				return err
-			}
-			resp = append(resp, float64(rs.MeanResponseTime().Microseconds())/1000)
-			thr = append(thr, fmtQPS(rs.Throughput()))
+		resp = append(resp, d)
+		thr = append(thr, d)
+		for si := range setups {
+			c := cells[di*len(setups)+si]
+			resp = append(resp, c.resp)
+			thr = append(thr, fmtQPS(c.qps))
 		}
 		respTab.AddRow(resp...)
 		thrTab.AddRow(thr...)

@@ -11,40 +11,54 @@ import (
 
 // Fig17PolicyPerformance regenerates Fig 17: mean response time and
 // throughput of LRU, CBLRU and CBSLRU on the two-level hierarchy over
-// collection size, with the paper's headline relative improvements.
+// collection size, with the paper's headline relative improvements. Each
+// (docs, policy) pair is one independent point on the worker pool.
 func Fig17PolicyPerformance(w io.Writer, sc Scale) error {
 	policies := []core.Policy{core.PolicyLRU, core.PolicyCBLRU, core.PolicyCBSLRU}
+	docs := sc.docSweep()
+	type cell struct {
+		resp float64
+		qps  float64
+	}
+	cells := make([]cell, len(docs)*len(policies))
+	err := sc.forPoints(len(cells), func(p int) error {
+		policy := policies[p%len(policies)]
+		sys, err := sc.system(policy, hybrid.CacheTwoLevel, hybrid.IndexOnHDD,
+			docs[p/len(policies)], sc.cacheConfig(policy))
+		if err != nil {
+			return err
+		}
+		rs, _, err := runMeasured(sys, sc)
+		if err != nil {
+			return err
+		}
+		cells[p] = cell{
+			resp: float64(rs.MeanResponseTime().Microseconds()) / 1000,
+			qps:  rs.Throughput(),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	respTab := metrics.NewTable("docs", "LRU_ms", "CBLRU_ms", "CBSLRU_ms")
 	thrTab := metrics.NewTable("docs", "LRU_qps", "CBLRU_qps", "CBSLRU_qps")
 	var respSum, thrSum [3]float64
-	var points int
-	for _, docs := range sc.docSweep() {
-		var resp, thr [3]float64
-		for i, policy := range policies {
-			sys, err := sc.system(policy, hybrid.CacheTwoLevel, hybrid.IndexOnHDD,
-				docs, sc.cacheConfig(policy))
-			if err != nil {
-				return err
-			}
-			rs, _, err := runMeasured(sys, sc)
-			if err != nil {
-				return err
-			}
-			resp[i] = float64(rs.MeanResponseTime().Microseconds()) / 1000
-			thr[i] = rs.Throughput()
-			respSum[i] += resp[i]
-			thrSum[i] += thr[i]
+	for di, d := range docs {
+		row := cells[di*len(policies) : (di+1)*len(policies)]
+		for i, c := range row {
+			respSum[i] += c.resp
+			thrSum[i] += c.qps
 		}
-		points++
-		respTab.AddRow(docs, resp[0], resp[1], resp[2])
-		thrTab.AddRow(docs, fmtQPS(thr[0]), fmtQPS(thr[1]), fmtQPS(thr[2]))
+		respTab.AddRow(d, row[0].resp, row[1].resp, row[2].resp)
+		thrTab.AddRow(d, fmtQPS(row[0].qps), fmtQPS(row[1].qps), fmtQPS(row[2].qps))
 	}
 	fmt.Fprintln(w, "# Fig 17(a) — mean response time (ms)")
 	io.WriteString(w, respTab.String())
 	fmt.Fprintln(w, "\n# Fig 17(b) — throughput (queries/s)")
 	io.WriteString(w, thrTab.String())
 
-	if points > 0 && respSum[0] > 0 && thrSum[0] > 0 {
+	if len(docs) > 0 && respSum[0] > 0 && thrSum[0] > 0 {
 		fmt.Fprintf(w, "response time vs LRU: CBLRU %+.1f%%, CBSLRU %+.1f%% (paper: -35.27%%, -41.05%%)\n",
 			100*(respSum[1]-respSum[0])/respSum[0], 100*(respSum[2]-respSum[0])/respSum[0])
 		fmt.Fprintf(w, "throughput vs LRU:    CBLRU %+.1f%%, CBSLRU %+.1f%% (paper: +55.29%%, +70.47%%)\n",

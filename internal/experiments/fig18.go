@@ -25,33 +25,40 @@ func configCost(memBytes, ssdBytes int64) float64 {
 // Fig18CostPerformance regenerates Fig 18: (a) mean response time of
 // 1LC-HDD, 1LC-SSD and the hybrid 2LC-HDD over collection size; (b) the
 // capacity-mix study — big memory vs small memory + SSD — with the cost of
-// each configuration.
+// each configuration. Both parts fan their points out on the worker pool.
 func Fig18CostPerformance(w io.Writer, sc Scale) error {
+	setups := []struct {
+		mode      hybrid.CacheMode
+		placement hybrid.IndexPlacement
+		policy    core.Policy
+	}{
+		{hybrid.CacheOneLevel, hybrid.IndexOnHDD, core.PolicyCBLRU},
+		{hybrid.CacheOneLevel, hybrid.IndexOnSSD, core.PolicyCBLRU},
+		{hybrid.CacheTwoLevel, hybrid.IndexOnHDD, core.PolicyCBSLRU},
+	}
+	docs := sc.docSweep()
+	resps := make([]float64, len(docs)*len(setups))
+	err := sc.forPoints(len(resps), func(p int) error {
+		st := setups[p%len(setups)]
+		sys, err := sc.system(st.policy, st.mode, st.placement, docs[p/len(setups)], sc.cacheConfig(st.policy))
+		if err != nil {
+			return err
+		}
+		rs, _, err := runMeasured(sys, sc)
+		if err != nil {
+			return err
+		}
+		resps[p] = float64(rs.MeanResponseTime().Microseconds()) / 1000
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "# Fig 18(a) — mean response time (ms), CBSLRU for the two-level setup")
 	tab := metrics.NewTable("docs", "1LC-HDD", "1LC-SSD", "2LC-HDD")
-	for _, docs := range sc.docSweep() {
-		var resp [3]float64
-		setups := []struct {
-			mode      hybrid.CacheMode
-			placement hybrid.IndexPlacement
-			policy    core.Policy
-		}{
-			{hybrid.CacheOneLevel, hybrid.IndexOnHDD, core.PolicyCBLRU},
-			{hybrid.CacheOneLevel, hybrid.IndexOnSSD, core.PolicyCBLRU},
-			{hybrid.CacheTwoLevel, hybrid.IndexOnHDD, core.PolicyCBSLRU},
-		}
-		for i, st := range setups {
-			sys, err := sc.system(st.policy, st.mode, st.placement, docs, sc.cacheConfig(st.policy))
-			if err != nil {
-				return err
-			}
-			rs, _, err := runMeasured(sys, sc)
-			if err != nil {
-				return err
-			}
-			resp[i] = float64(rs.MeanResponseTime().Microseconds()) / 1000
-		}
-		tab.AddRow(docs, resp[0], resp[1], resp[2])
+	for di, d := range docs {
+		row := resps[di*len(setups) : (di+1)*len(setups)]
+		tab.AddRow(d, row[0], row[1], row[2])
 	}
 	io.WriteString(w, tab.String())
 
@@ -67,8 +74,9 @@ func Fig18CostPerformance(w io.Writer, sc Scale) error {
 		{"2LC:MM(0.2x)+SSD", sc.MemBytes / 5, sc.SSDResultBytes + sc.SSDListBytes, true},
 		{"2LC:MM(0.5x)+SSD", sc.MemBytes / 2, sc.SSDResultBytes + sc.SSDListBytes, true},
 	}
-	mixTab := metrics.NewTable("config", "mem_MB", "ssd_MB", "resp_ms", "cost_m$")
-	for _, mix := range mixes {
+	mixResps := make([]float64, len(mixes))
+	err = sc.forPoints(len(mixes), func(p int) error {
+		mix := mixes[p]
 		policy := core.PolicyCBLRU
 		mode := hybrid.CacheOneLevel
 		cfg := sc.cacheConfig(policy)
@@ -94,10 +102,18 @@ func Fig18CostPerformance(w io.Writer, sc Scale) error {
 		if err != nil {
 			return err
 		}
+		mixResps[p] = float64(rs.MeanResponseTime().Microseconds()) / 1000
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	mixTab := metrics.NewTable("config", "mem_MB", "ssd_MB", "resp_ms", "cost_m$")
+	for mi, mix := range mixes {
 		mixTab.AddRow(mix.name,
 			fmt.Sprintf("%.1f", float64(mix.mem)/(1<<20)),
 			fmt.Sprintf("%.1f", float64(mix.ssd)/(1<<20)),
-			float64(rs.MeanResponseTime().Microseconds())/1000,
+			mixResps[mi],
 			configCost(mix.mem, mix.ssd))
 	}
 	io.WriteString(w, mixTab.String())

@@ -24,9 +24,13 @@ func Fig19InsideSSD(w io.Writer, sc Scale) error {
 		erases []int64
 		avgUs  []float64
 	}
-	results := make(map[core.Policy]*series)
 	policies := []core.Policy{core.PolicyLRU, core.PolicyCBLRU, core.PolicyCBSLRU}
-	for _, policy := range policies {
+	// One point per policy: each runs its own system from cold through all
+	// checkpoints (the checkpoints are a time series over one system, so
+	// they stay sequential inside the point).
+	byPolicy := make([]*series, len(policies))
+	err := sc.forPoints(len(policies), func(p int) error {
+		policy := policies[p]
 		sys, err := sc.system(policy, hybrid.CacheTwoLevel, hybrid.IndexOnHDD,
 			sc.BaseDocs, sc.cacheConfig(policy))
 		if err != nil {
@@ -45,7 +49,15 @@ func Fig19InsideSSD(w io.Writer, sc Scale) error {
 			s.erases = append(s.erases, sys.CacheSSD.Wear().TotalErases)
 			s.avgUs = append(s.avgUs, float64(sys.CacheSSD.Stats().AvgAccessTime().Nanoseconds())/1000)
 		}
-		results[policy] = s
+		byPolicy[p] = s
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	results := make(map[core.Policy]*series)
+	for p, policy := range policies {
+		results[policy] = byPolicy[p]
 	}
 
 	fmt.Fprintln(w, "# Fig 19(a) — cumulative block erasure count")

@@ -17,17 +17,32 @@ import (
 // in the same application" — this experiment quantifies that difference
 // for the search-engine cache workload.
 func FTLComparison(w io.Writer, sc Scale) error {
-	tab := metrics.NewTable("FTL", "resp_ms", "RIC", "erases", "WA", "merges/GC")
-	for _, ftl := range []hybrid.FTLKind{hybrid.FTLPageMap, hybrid.FTLHybridLog, hybrid.FTLBlockMap} {
+	ftls := []hybrid.FTLKind{hybrid.FTLPageMap, hybrid.FTLHybridLog, hybrid.FTLBlockMap}
+	// One point per FTL on the worker pool; all stamp the same index image.
+	type row struct {
+		respMs float64
+		ric    float64
+		erases int64
+		wa     float64
+		gcRuns int64
+	}
+	rows := make([]row, len(ftls))
+	err := sc.forPoints(len(ftls), func(p int) error {
+		spec := sc.collection(sc.BaseDocs)
+		img, err := sharedImage(spec)
+		if err != nil {
+			return err
+		}
 		cfg := hybrid.Config{
-			Collection: sc.collection(sc.BaseDocs),
+			Collection: spec,
 			QueryLog:   sc.log(),
 			Cache:      sc.cacheConfig(core.PolicyCBLRU),
 			Mode:       hybrid.CacheTwoLevel,
 			IndexOn:    hybrid.IndexOnHDD,
 			Engine:     sc.engineConfig(),
 			UseModelPU: true,
-			CacheFTL:   ftl,
+			CacheFTL:   ftls[p],
+			IndexImage: img,
 		}
 		sys, err := hybrid.New(cfg)
 		if err != nil {
@@ -38,12 +53,22 @@ func FTLComparison(w io.Writer, sc Scale) error {
 			return err
 		}
 		wear := sys.CacheSSD.Wear()
-		tab.AddRow(ftl.String(),
-			float64(rs.MeanResponseTime().Microseconds())/1000,
-			ms.CombinedHitRatio(),
-			wear.TotalErases,
-			fmt.Sprintf("%.2f", wear.WriteAmplification),
-			wear.GCRuns)
+		rows[p] = row{
+			respMs: float64(rs.MeanResponseTime().Microseconds()) / 1000,
+			ric:    ms.CombinedHitRatio(),
+			erases: wear.TotalErases,
+			wa:     wear.WriteAmplification,
+			gcRuns: wear.GCRuns,
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable("FTL", "resp_ms", "RIC", "erases", "WA", "merges/GC")
+	for p, ftl := range ftls {
+		tab.AddRow(ftl.String(), rows[p].respMs, rows[p].ric, rows[p].erases,
+			fmt.Sprintf("%.2f", rows[p].wa), rows[p].gcRuns)
 	}
 	if _, err := io.WriteString(w, tab.String()); err != nil {
 		return err

@@ -61,22 +61,37 @@ func ThreeLevel(w io.Writer, sc Scale) error {
 		return elapsed / time.Duration(queries), hitRatio, blocksRead, blocksSkipped, nil
 	}
 
-	tab := metrics.NewTable("intersection_cache", "resp_ms", "pair_hit_ratio", "blocks_read", "blocks_skipped")
-	for _, c := range []struct {
+	// One point per intersection-cache size on the worker pool.
+	cases := []struct {
 		name  string
 		bytes int64
 	}{
 		{"none (two-level only)", 0},
 		{"1x mem", sc.MemBytes},
 		{"4x mem", 4 * sc.MemBytes},
-	} {
-		resp, hr, br, bs, err := run(c.bytes)
+	}
+	type row struct {
+		resp   time.Duration
+		hr     float64
+		br, bs int64
+	}
+	rows := make([]row, len(cases))
+	err := sc.forPoints(len(cases), func(p int) error {
+		resp, hr, br, bs, err := run(cases[p].bytes)
 		if err != nil {
 			return err
 		}
+		rows[p] = row{resp: resp, hr: hr, br: br, bs: bs}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable("intersection_cache", "resp_ms", "pair_hit_ratio", "blocks_read", "blocks_skipped")
+	for p, c := range cases {
 		tab.AddRow(c.name,
-			float64(resp.Microseconds())/1000,
-			fmt.Sprintf("%.3f", hr), br, bs)
+			float64(rows[p].resp.Microseconds())/1000,
+			fmt.Sprintf("%.3f", rows[p].hr), rows[p].br, rows[p].bs)
 	}
 	if _, err := io.WriteString(w, tab.String()); err != nil {
 		return err

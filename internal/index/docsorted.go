@@ -125,16 +125,15 @@ func (ix *Index) ReadDocBlock(t workload.TermID, byteOff uint32) ([]workload.Pos
 	return DecodePostings(buf), nil
 }
 
-// buildDocSection serializes term t's doc-sorted section at off and
-// returns the bytes written.
-func buildDocSection(dev storage.Device, off int64, postings []workload.Posting) (int64, error) {
+// encodeDocSection serializes a term's doc-sorted section into buf, which
+// must be exactly DocSectionBytes(len(postings)) long.
+func encodeDocSection(buf []byte, postings []workload.Posting) {
 	sorted := make([]workload.Posting, len(postings))
 	copy(sorted, postings)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Doc < sorted[j].Doc })
 
 	df := int64(len(sorted))
 	blocks := int((df + SkipInterval - 1) / SkipInterval)
-	buf := make([]byte, DocSectionBytes(df))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(blocks))
 	postingsBase := SkipTableBytes(df)
 	for b := 0; b < blocks; b++ {
@@ -146,8 +145,4 @@ func buildDocSection(dev storage.Device, off int64, postings []workload.Posting)
 	for i, p := range sorted {
 		EncodePosting(buf[postingsBase+int64(i)*PostingSize:], p)
 	}
-	if _, err := dev.WriteAt(buf, off); err != nil {
-		return 0, err
-	}
-	return int64(len(buf)), nil
 }

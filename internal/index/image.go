@@ -1,0 +1,132 @@
+package index
+
+// Prebuilt index images.
+//
+// Synthesizing a collection's postings and doc-sorted sections is pure CPU
+// work that depends only on the CollectionSpec, yet every experiment point
+// used to redo it from scratch. An Image is that work done once: the fully
+// serialized index (header, directory, impact-ordered lists, doc-sorted
+// sections) held in memory, ready to be stamped onto any number of devices.
+// Stamping replays the exact write sequence Build has always issued —
+// header first, lists in flush-sized sequential chunks, then one write per
+// doc-sorted section — so a stamped system is indistinguishable, byte for
+// byte and simulated-op for simulated-op, from one that built its index
+// directly.
+//
+// An Image is immutable after BuildImage returns and safe for concurrent
+// Stamp calls from multiple goroutines.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hybridstore/internal/storage"
+	"hybridstore/internal/workload"
+)
+
+// buildFlushSize is the sequential-write granularity of the list region
+// during bulk load (Build's historical flush size).
+const buildFlushSize = 1 << 20
+
+// Image is a fully serialized index for one CollectionSpec, reusable
+// across devices.
+type Image struct {
+	spec     workload.CollectionSpec
+	data     []byte // header + directory + lists + doc-sorted sections
+	headLen  int64
+	listsEnd int64 // end of the impact-ordered list region
+	numDocs  int64
+	terms    []TermMeta
+	docTerms []DocMeta
+}
+
+// Spec returns the collection the image serializes.
+func (im *Image) Spec() workload.CollectionSpec { return im.spec }
+
+// Bytes returns the serialized size of the image.
+func (im *Image) Bytes() int64 { return int64(len(im.data)) }
+
+// BuildImage synthesizes the collection described by spec and serializes
+// its inverted index into memory.
+func BuildImage(spec workload.CollectionSpec) (*Image, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	terms := make([]TermMeta, spec.VocabSize)
+	docTerms := make([]DocMeta, spec.VocabSize)
+	off := int64(headerSize + dirEntrySize*spec.VocabSize)
+	headLen := off
+	for t := 0; t < spec.VocabSize; t++ {
+		df := int64(spec.DocFreq(workload.TermID(t)))
+		terms[t] = TermMeta{Offset: off, DF: df}
+		off += df * PostingSize
+	}
+	listsEnd := off
+	// Doc-sorted sections follow all impact-ordered lists.
+	for t := 0; t < spec.VocabSize; t++ {
+		docTerms[t] = DocMeta{Offset: off, DF: terms[t].DF}
+		off += DocSectionBytes(terms[t].DF)
+	}
+
+	data := make([]byte, off)
+	copy(data[0:4], magic[:])
+	binary.LittleEndian.PutUint32(data[4:8], 2)
+	binary.LittleEndian.PutUint64(data[8:16], uint64(spec.VocabSize))
+	binary.LittleEndian.PutUint64(data[16:24], uint64(spec.NumDocs))
+	for t, m := range terms {
+		base := headerSize + t*dirEntrySize
+		binary.LittleEndian.PutUint64(data[base:base+8], uint64(m.Offset))
+		binary.LittleEndian.PutUint64(data[base+8:base+16], uint64(m.DF))
+		binary.LittleEndian.PutUint64(data[base+16:base+24], uint64(docTerms[t].Offset))
+	}
+	for t := 0; t < spec.VocabSize; t++ {
+		postings := spec.Postings(workload.TermID(t))
+		buf := data[terms[t].Offset:]
+		for i, p := range postings {
+			EncodePosting(buf[i*PostingSize:], p)
+		}
+		end := docTerms[t].Offset + DocSectionBytes(terms[t].DF)
+		encodeDocSection(data[docTerms[t].Offset:end], postings)
+	}
+	return &Image{
+		spec:     spec,
+		data:     data,
+		headLen:  headLen,
+		listsEnd: listsEnd,
+		numDocs:  int64(spec.NumDocs),
+		terms:    terms,
+		docTerms: docTerms,
+	}, nil
+}
+
+// Stamp writes the image onto dev and returns the opened index, charging
+// the same simulated write operations a direct Build would: the header and
+// directory first, the list region in flush-sized sequential chunks, then
+// each doc-sorted section in one write.
+func (im *Image) Stamp(dev storage.Device) (*Index, error) {
+	if im.Bytes() > dev.Size() {
+		return nil, fmt.Errorf("index: needs %d bytes, device %q holds %d",
+			im.Bytes(), dev.Name(), dev.Size())
+	}
+	if _, err := dev.WriteAt(im.data[:im.headLen], 0); err != nil {
+		return nil, fmt.Errorf("index: writing directory: %w", err)
+	}
+	for off := im.headLen; off < im.listsEnd; {
+		n := int64(buildFlushSize)
+		if im.listsEnd-off < n {
+			n = im.listsEnd - off
+		}
+		if _, err := dev.WriteAt(im.data[off:off+n], off); err != nil {
+			return nil, fmt.Errorf("index: writing lists: %w", err)
+		}
+		off += n
+	}
+	for t := range im.docTerms {
+		off := im.docTerms[t].Offset
+		end := off + DocSectionBytes(im.terms[t].DF)
+		if _, err := dev.WriteAt(im.data[off:end], off); err != nil {
+			return nil, fmt.Errorf("index: writing doc-sorted section: %w", err)
+		}
+	}
+	return &Index{dev: dev, numDocs: im.numDocs, terms: im.terms, docTerms: im.docTerms}, nil
+}

@@ -1,0 +1,93 @@
+package index
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybridstore/internal/simclock"
+	"hybridstore/internal/storage"
+)
+
+// TestStampMatchesBuild is the contract the artifact cache rests on: a
+// device stamped from an image must be indistinguishable from one Build
+// wrote directly — identical bytes AND an identical simulated operation
+// history (write count, byte count, accumulated latency), so cached and
+// uncached experiment points replay the exact same timeline.
+func TestStampMatchesBuild(t *testing.T) {
+	spec := testSpec()
+	size := RequiredBytes(spec) + 4096
+
+	devBuild := storage.NewMemDevice("idx", size, simclock.New(), storage.DefaultMemParams())
+	ixBuild, err := Build(devBuild, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img, err := BuildImage(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devStamp := storage.NewMemDevice("idx", size, simclock.New(), storage.DefaultMemParams())
+	ixStamp, err := img.Stamp(devStamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb, ss := devBuild.Stats(), devStamp.Stats()
+	if sb.Writes != ss.Writes || sb.BytesWrit != ss.BytesWrit || sb.WriteTime != ss.WriteTime {
+		t.Fatalf("write history differs: Build {ops %d, bytes %d, time %v}, Stamp {ops %d, bytes %d, time %v}",
+			sb.Writes, sb.BytesWrit, sb.WriteTime, ss.Writes, ss.BytesWrit, ss.WriteTime)
+	}
+
+	want := make([]byte, img.Bytes())
+	got := make([]byte, img.Bytes())
+	if _, err := devBuild.ReadAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := devStamp.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("stamped device content differs from built device content")
+	}
+
+	if ixBuild.NumDocs() != ixStamp.NumDocs() || ixBuild.NumTerms() != ixStamp.NumTerms() {
+		t.Fatalf("index metadata differs: build (%d docs, %d terms), stamp (%d docs, %d terms)",
+			ixBuild.NumDocs(), ixBuild.NumTerms(), ixStamp.NumDocs(), ixStamp.NumTerms())
+	}
+}
+
+func TestImageBytesMatchesRequired(t *testing.T) {
+	spec := testSpec()
+	img, err := BuildImage(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bytes() != RequiredBytes(spec) {
+		t.Fatalf("image is %d bytes, RequiredBytes says %d", img.Bytes(), RequiredBytes(spec))
+	}
+	if img.Spec() != spec {
+		t.Fatalf("Spec() = %+v, want %+v", img.Spec(), spec)
+	}
+}
+
+func TestStampDeviceTooSmall(t *testing.T) {
+	spec := testSpec()
+	img, err := BuildImage(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := storage.NewMemDevice("tiny", img.Bytes()/2, simclock.New(), storage.DefaultMemParams())
+	if _, err := img.Stamp(dev); err == nil || !strings.Contains(err.Error(), "needs") {
+		t.Fatalf("expected capacity error, got %v", err)
+	}
+}
+
+func TestBuildImageRejectsInvalidSpec(t *testing.T) {
+	spec := testSpec()
+	spec.NumDocs = 0
+	if _, err := BuildImage(spec); err == nil {
+		t.Fatal("expected validation error for zero-doc spec")
+	}
+}

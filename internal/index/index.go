@@ -88,97 +88,35 @@ func DecodePosting(buf []byte) workload.Posting {
 
 // DecodePostings deserializes as many whole postings as buf holds.
 func DecodePostings(buf []byte) []workload.Posting {
+	return AppendPostings(make([]workload.Posting, 0, len(buf)/PostingSize), buf)
+}
+
+// AppendPostings decodes as many whole postings as buf holds, appending
+// them to dst. Callers on hot paths pass a reused scratch slice to avoid
+// allocating per decode.
+func AppendPostings(dst []workload.Posting, buf []byte) []workload.Posting {
 	n := len(buf) / PostingSize
-	out := make([]workload.Posting, n)
 	for i := 0; i < n; i++ {
-		out[i] = DecodePosting(buf[i*PostingSize:])
+		dst = append(dst, DecodePosting(buf[i*PostingSize:]))
 	}
-	return out
+	return dst
 }
 
 // Build synthesizes the collection described by spec and serializes its
 // inverted index onto dev, returning the opened index. Lists are laid out
 // back-to-back after the header and directory, in term order, so building
 // is one long sequential write — the cheap bulk-load case on both device
-// types.
+// types. Build is BuildImage + Stamp; callers constructing many systems
+// over the same spec should build the Image once and Stamp it repeatedly.
 //
 // Building charges device time on the shared clock like any other I/O; use
 // a dedicated clock when setup time should not pollute an experiment.
 func Build(dev storage.Device, spec workload.CollectionSpec) (*Index, error) {
-	if err := spec.Validate(); err != nil {
+	img, err := BuildImage(spec)
+	if err != nil {
 		return nil, err
 	}
-	terms := make([]TermMeta, spec.VocabSize)
-	docTerms := make([]DocMeta, spec.VocabSize)
-	off := int64(headerSize + dirEntrySize*spec.VocabSize)
-	for t := 0; t < spec.VocabSize; t++ {
-		df := int64(spec.DocFreq(workload.TermID(t)))
-		terms[t] = TermMeta{Offset: off, DF: df}
-		off += df * PostingSize
-	}
-	// Doc-sorted sections follow all impact-ordered lists.
-	for t := 0; t < spec.VocabSize; t++ {
-		docTerms[t] = DocMeta{Offset: off, DF: terms[t].DF}
-		off += DocSectionBytes(terms[t].DF)
-	}
-	if off > dev.Size() {
-		return nil, fmt.Errorf("index: needs %d bytes, device %q holds %d",
-			off, dev.Name(), dev.Size())
-	}
-
-	// Header + directory.
-	head := make([]byte, headerSize+dirEntrySize*spec.VocabSize)
-	copy(head[0:4], magic[:])
-	binary.LittleEndian.PutUint32(head[4:8], 2)
-	binary.LittleEndian.PutUint64(head[8:16], uint64(spec.VocabSize))
-	binary.LittleEndian.PutUint64(head[16:24], uint64(spec.NumDocs))
-	for t, m := range terms {
-		base := headerSize + t*dirEntrySize
-		binary.LittleEndian.PutUint64(head[base:base+8], uint64(m.Offset))
-		binary.LittleEndian.PutUint64(head[base+8:base+16], uint64(m.DF))
-		binary.LittleEndian.PutUint64(head[base+16:base+24], uint64(docTerms[t].Offset))
-	}
-	if _, err := dev.WriteAt(head, 0); err != nil {
-		return nil, fmt.Errorf("index: writing directory: %w", err)
-	}
-
-	// Posting lists, buffered into large sequential writes.
-	const flushSize = 1 << 20
-	buf := make([]byte, 0, flushSize+PostingSize)
-	writeOff := int64(len(head))
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		if _, err := dev.WriteAt(buf, writeOff); err != nil {
-			return fmt.Errorf("index: writing lists: %w", err)
-		}
-		writeOff += int64(len(buf))
-		buf = buf[:0]
-		return nil
-	}
-	var tmp [PostingSize]byte
-	for t := 0; t < spec.VocabSize; t++ {
-		for _, p := range spec.Postings(workload.TermID(t)) {
-			EncodePosting(tmp[:], p)
-			buf = append(buf, tmp[:]...)
-			if len(buf) >= flushSize {
-				if err := flush(); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if err := flush(); err != nil {
-		return nil, err
-	}
-	// Doc-sorted sections with skip tables.
-	for t := 0; t < spec.VocabSize; t++ {
-		if _, err := buildDocSection(dev, docTerms[t].Offset, spec.Postings(workload.TermID(t))); err != nil {
-			return nil, fmt.Errorf("index: writing doc-sorted section: %w", err)
-		}
-	}
-	return &Index{dev: dev, numDocs: int64(spec.NumDocs), terms: terms, docTerms: docTerms}, nil
+	return img.Stamp(dev)
 }
 
 // Open loads an index previously built on dev by reading its header and

@@ -77,13 +77,35 @@ func New(opts Options) *Observer {
 	if opts.TraceOut != nil {
 		o.Tracer.StreamTo(opts.TraceOut)
 	}
+	o.initHistograms()
+	return o
+}
+
+// Fork returns an Observer that shares o's Tracer — and therefore its
+// ring buffer, NDJSON stream and completed-trace count — but owns a fresh
+// Registry. Drivers that measure a sequence of systems need this: each
+// system's virtual clock restarts at zero, so gauges and time series must
+// be private per system (a shared Registry would interleave samples from
+// unrelated clocks, which TimeSeries.Record rejects), while all traces
+// still land in one stream.
+func (o *Observer) Fork() *Observer {
+	f := &Observer{
+		Tracer:      o.Tracer,
+		Registry:    NewRegistry(),
+		sampleEvery: o.sampleEvery,
+	}
+	f.initHistograms()
+	return f
+}
+
+// initHistograms registers the query-latency histograms on o.Registry.
+func (o *Observer) initHistograms() {
 	bounds := LatencyBounds()
 	o.latAll = o.Registry.Histogram("query_latency_us", bounds)
 	for i := 0; i < numSituations; i++ {
 		o.latSit[i] = o.Registry.Histogram(fmt.Sprintf("query_latency_s%d_us", i+1), bounds)
 	}
 	o.latSit[numSituations] = o.Registry.Histogram("query_latency_uncached_us", bounds)
-	return o
 }
 
 // BeginQuery opens tracing for one query at simulated time now.

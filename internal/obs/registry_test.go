@@ -121,3 +121,32 @@ func TestObserverSampleEveryCheckpoints(t *testing.T) {
 		t.Fatalf("latency count=%d want 6", lat.Count)
 	}
 }
+
+// TestObserverFork: forks share the tracer (one stream, one completed
+// count) but own private registries, so two systems with independently
+// restarting virtual clocks can checkpoint without tripping the
+// time-series monotonicity guard.
+func TestObserverFork(t *testing.T) {
+	parent := New(Options{SampleEvery: 1})
+	for run := 0; run < 2; run++ {
+		f := parent.Fork()
+		if f.Tracer != parent.Tracer {
+			t.Fatal("fork does not share the parent tracer")
+		}
+		if f.Registry == parent.Registry {
+			t.Fatal("fork shares the parent registry")
+		}
+		v := 0.0
+		f.Registry.Gauge("g", func() float64 { return v })
+		// Each run's clock restarts near zero; the second run's sample
+		// times are below the first's, which a shared registry rejects.
+		for i := 1; i <= 3-run; i++ {
+			v = float64(i)
+			f.BeginQuery(uint64(i), 0)
+			f.EndQuery(time.Duration(i)*time.Second, time.Millisecond)
+		}
+	}
+	if got := parent.Tracer.Completed(); got != 5 {
+		t.Fatalf("shared tracer completed %d traces, want 5", got)
+	}
+}

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# bench.sh — PR 2 benchmark harness.
+#
+# Times the full experiment suite serially (-jobs 1) and on all CPUs
+# (-jobs $(nproc)), verifies the two stdout streams are byte-identical,
+# runs the tier-1 engine/index micro-benchmarks with -benchmem, and writes
+# the whole record to BENCH_pr2.json.
+#
+# Environment:
+#   SCALE    suite scale to time (default: small; full takes much longer)
+#   JOBS     parallel job count (default: nproc)
+#   OUT      output JSON path (default: BENCH_pr2.json in the repo root)
+#   BASELINE_ENGINE_NS / _ALLOCS, BASELINE_E2E_NS / _ALLOCS,
+#   BASELINE_BUILD_NS / _ALLOCS, BASELINE_SUITE_S
+#            optional pre-change numbers to embed for before/after deltas
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-small}"
+JOBS="${JOBS:-$(nproc)}"
+OUT="${OUT:-BENCH_pr2.json}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== building hybridbench" >&2
+go build -o "$WORK/hybridbench" ./cmd/hybridbench
+
+run_suite() { # run_suite <jobs> <outfile> -> wall seconds
+    local t0 t1
+    t0=$(date +%s.%N)
+    "$WORK/hybridbench" -exp all -scale "$SCALE" -jobs "$1" >"$2" 2>"$WORK/err_$1.txt"
+    t1=$(date +%s.%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.2f", b-a}'
+}
+
+echo "== timing suite: -scale $SCALE -jobs 1" >&2
+SERIAL_S=$(run_suite 1 "$WORK/out_serial.txt")
+echo "   ${SERIAL_S}s" >&2
+
+echo "== timing suite: -scale $SCALE -jobs $JOBS" >&2
+PARALLEL_S=$(run_suite "$JOBS" "$WORK/out_parallel.txt")
+echo "   ${PARALLEL_S}s" >&2
+
+if ! cmp -s "$WORK/out_serial.txt" "$WORK/out_parallel.txt"; then
+    echo "FATAL: -jobs 1 and -jobs $JOBS stdout differ" >&2
+    diff "$WORK/out_serial.txt" "$WORK/out_parallel.txt" | head -40 >&2
+    exit 1
+fi
+echo "== outputs byte-identical" >&2
+
+echo "== running tier-1 micro-benchmarks (-benchmem)" >&2
+go test -run '^$' -bench 'BenchmarkEngineExecute$|BenchmarkEndToEndSearch$|BenchmarkIndexBuild$' \
+    -benchmem -benchtime=2s -count=1 . | tee "$WORK/bench.txt" >&2
+
+# bench_field <benchmark> <unit> -> value for that unit on the bench line
+bench_field() {
+    awk -v name="$1" -v unit="$2" '
+        $1 ~ "^"name"(-[0-9]+)?$" {
+            for (i = 2; i < NF; i++) if ($(i+1) == unit) { print $i; exit }
+        }' "$WORK/bench.txt"
+}
+
+ENGINE_NS=$(bench_field BenchmarkEngineExecute ns/op)
+ENGINE_ALLOCS=$(bench_field BenchmarkEngineExecute allocs/op)
+ENGINE_BYTES=$(bench_field BenchmarkEngineExecute B/op)
+E2E_NS=$(bench_field BenchmarkEndToEndSearch ns/op)
+E2E_ALLOCS=$(bench_field BenchmarkEndToEndSearch allocs/op)
+E2E_BYTES=$(bench_field BenchmarkEndToEndSearch B/op)
+BUILD_NS=$(bench_field BenchmarkIndexBuild ns/op)
+BUILD_ALLOCS=$(bench_field BenchmarkIndexBuild allocs/op)
+BUILD_BYTES=$(bench_field BenchmarkIndexBuild B/op)
+
+SPEEDUP=$(awk -v s="$SERIAL_S" -v p="$PARALLEL_S" 'BEGIN{printf "%.2f", s/p}')
+
+baseline_json() { # baseline_json <ns_var> <allocs_var>
+    local ns="${!1:-}" allocs="${!2:-}"
+    if [ -n "$ns" ] && [ -n "$allocs" ]; then
+        printf '{"ns_op": %s, "allocs_op": %s}' "$ns" "$allocs"
+    else
+        printf 'null'
+    fi
+}
+
+cat >"$OUT" <<EOF
+{
+  "pr": 2,
+  "host": {
+    "cpus": $(nproc),
+    "go": "$(go env GOVERSION)"
+  },
+  "suite": {
+    "scale": "$SCALE",
+    "serial_jobs1_seconds": $SERIAL_S,
+    "parallel_jobs${JOBS}_seconds": $PARALLEL_S,
+    "parallel_jobs": $JOBS,
+    "speedup": $SPEEDUP,
+    "outputs_byte_identical": true,
+    "pre_change_serial_seconds": ${BASELINE_SUITE_S:-null}
+  },
+  "microbench": {
+    "engine_execute": {
+      "ns_op": $ENGINE_NS, "bytes_op": $ENGINE_BYTES, "allocs_op": $ENGINE_ALLOCS,
+      "baseline": $(baseline_json BASELINE_ENGINE_NS BASELINE_ENGINE_ALLOCS)
+    },
+    "end_to_end_search": {
+      "ns_op": $E2E_NS, "bytes_op": $E2E_BYTES, "allocs_op": $E2E_ALLOCS,
+      "baseline": $(baseline_json BASELINE_E2E_NS BASELINE_E2E_ALLOCS)
+    },
+    "index_build": {
+      "ns_op": $BUILD_NS, "bytes_op": $BUILD_BYTES, "allocs_op": $BUILD_ALLOCS,
+      "baseline": $(baseline_json BASELINE_BUILD_NS BASELINE_BUILD_ALLOCS)
+    }
+  }
+}
+EOF
+
+echo "== wrote $OUT" >&2
+cat "$OUT"
