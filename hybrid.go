@@ -136,6 +136,11 @@ type Config struct {
 	// CacheFTL selects the cache SSD's flash translation layer
 	// (default: the paper's ideal page-mapped baseline).
 	CacheFTL FTLKind
+	// CacheFaults injects deterministic device faults into the cache SSD:
+	// per-operation error probabilities, latency spikes and sticky bad
+	// extents (see storage.FaultSpec). The zero value injects nothing.
+	// Only meaningful with Mode == CacheTwoLevel.
+	CacheFaults storage.FaultSpec
 	// IndexImage, when non-nil, supplies a prebuilt serialized index for
 	// Collection: New stamps it onto the index device instead of
 	// re-synthesizing postings, which skips the CPU-heavy part of setup
@@ -179,10 +184,15 @@ type System struct {
 	HDD      *disksim.HDD  // nil when the index lives on SSD
 	IndexSSD *flashsim.SSD // nil when the index lives on HDD
 	CacheSSD CacheDevice   // nil unless Mode == CacheTwoLevel
-	Index    *index.Index
-	Manager  *core.Manager // nil when Mode == CacheNone
-	Engine   *engine.Engine
-	Log      *workload.QueryLog
+	// CacheFaults is the fault injector wrapping CacheSSD; nil unless
+	// Config.CacheFaults enables injection. The manager performs all cache
+	// I/O through it, while CacheSSD stays directly reachable for wear and
+	// op-hook wiring.
+	CacheFaults *storage.FaultyDevice
+	Index       *index.Index
+	Manager     *core.Manager // nil when Mode == CacheNone
+	Engine      *engine.Engine
+	Log         *workload.QueryLog
 
 	cfg       Config
 	cacheCfg  core.Config // effective manager config (after mode/PU wiring)
@@ -273,6 +283,10 @@ func New(cfg Config) (*System, error) {
 				return nil, fmt.Errorf("hybrid: unknown cache FTL %d", cfg.CacheFTL)
 			}
 			cacheDev = s.CacheSSD
+			if cfg.CacheFaults.Enabled() {
+				s.CacheFaults = storage.NewFaultyDevice(s.CacheSSD, cfg.CacheFaults, nil)
+				cacheDev = s.CacheFaults
+			}
 		}
 		m, err := core.New(clock, ix, cacheDev, cacheCfg)
 		if err != nil {
@@ -367,7 +381,11 @@ func (s *System) RestartWarm() error {
 	if s.Manager == nil || s.CacheSSD == nil {
 		return fmt.Errorf("hybrid: no two-level cache to restore")
 	}
-	m, err := core.Restore(s.Clock, s.Index, s.CacheSSD, s.cacheCfg)
+	var cacheDev storage.Device = s.CacheSSD
+	if s.CacheFaults != nil {
+		cacheDev = s.CacheFaults
+	}
+	m, err := core.Restore(s.Clock, s.Index, cacheDev, s.cacheCfg)
 	if err != nil {
 		return err
 	}

@@ -91,6 +91,25 @@ type Config struct {
 	ResultTTL time.Duration
 	ListTTL   time.Duration
 
+	// BreakerThreshold trips the SSD circuit breaker after this many
+	// consecutive SSD operation failures: until the cooldown expires the
+	// manager serves around the L2 tier entirely (reads go to the backing
+	// store, flushes are dropped with accounting) instead of hammering a
+	// failing device. Zero selects the default (8); negative disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long (simulated time) the breaker stays open
+	// after tripping. Zero selects the default (50ms).
+	BreakerCooldown time.Duration
+
+	// FreqCap bounds the Freq maps behind Formula 2 (per-term and per-query
+	// access counts). When a map exceeds the cap, all counts are halved and
+	// zeros pruned until it fits — a decayed frequency sketch with stable
+	// memory under unbounded distinct keys, preserving the EV = Freq/SC
+	// ordering (uniform decay rescales every EV by the same factor). Zero
+	// selects the default (1<<16 entries); negative disables bounding.
+	FreqCap int
+
 	// MemAccessLatency and MemBytesPerSecond model L1 access cost.
 	MemAccessLatency  time.Duration
 	MemBytesPerSecond int64
@@ -138,6 +157,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.PrefetchQuantum < 0 { // explicit opt-out
 		c.PrefetchQuantum = 0
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 50 * time.Millisecond
+	}
+	if c.FreqCap == 0 {
+		c.FreqCap = 1 << 16
+	}
+	if c.FreqCap < 0 { // explicit opt-out
+		c.FreqCap = 0
 	}
 	if c.MemAccessLatency <= 0 {
 		c.MemAccessLatency = 100 * time.Nanosecond

@@ -52,6 +52,14 @@ const (
 	EvResultEvict
 	// EvQueryEnd: the current query was classified into situation Sit.
 	EvQueryEnd
+	// EvIOError: an SSD cache operation failed; Bytes is the size of the
+	// failed transfer, Level is always LevelSSD. One event per failed
+	// device call, so the event count equals SSDReadErrors +
+	// SSDWriteErrors + SSDTrimErrors.
+	EvIOError
+	// EvDegraded: a request was served around the SSD tier because the
+	// circuit breaker is open (count == Stats.DegradedServes).
+	EvDegraded
 )
 
 // String names the event kind.
@@ -59,6 +67,7 @@ func (k EventKind) String() string {
 	names := [...]string{
 		"list_read", "result_hit", "result_miss", "list_flush",
 		"result_flush", "list_evict", "result_evict", "query_end",
+		"io_error", "degraded",
 	}
 	if int(k) < len(names) {
 		return names[k]

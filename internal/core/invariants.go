@@ -127,15 +127,17 @@ func (m *Manager) CheckInvariants() error {
 		}
 	}
 
-	// (4) allocator coverage of the list region.
+	// (4) allocator coverage of the list region. Quarantined extents are
+	// neither live nor free: space retired after device errors still has
+	// to be accounted for, or faults would masquerade as leaks.
 	if m.icAlloc != nil {
 		var live int64
 		for _, e := range extents {
 			live += e.n
 		}
-		if live+m.icAlloc.FreeBytes() != m.cfg.SSDListBytes {
-			return fmt.Errorf("list region leak: live %d + free %d != %d",
-				live, m.icAlloc.FreeBytes(), m.cfg.SSDListBytes)
+		if live+m.icAlloc.FreeBytes()+m.icAlloc.QuarantinedBytes() != m.cfg.SSDListBytes {
+			return fmt.Errorf("list region leak: live %d + free %d + quarantined %d != %d",
+				live, m.icAlloc.FreeBytes(), m.icAlloc.QuarantinedBytes(), m.cfg.SSDListBytes)
 		}
 	}
 

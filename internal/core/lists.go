@@ -52,21 +52,32 @@ func (m *Manager) ReadListRange(t workload.TermID, off int64, p []byte) error {
 		}
 	}
 
-	// Level 2: SSD-cached prefix.
+	// Level 2: SSD-cached prefix. A device failure here must not fail the
+	// query — the same bytes exist in the backing index, so a failed (or
+	// breaker-gated) SSD read simply leaves pos where it is and the next
+	// stage serves the remainder from the HDD.
 	if pos < end {
 		if sl := m.ssdListFor(t); sl != nil && pos < sl.validBytes {
-			n := sl.validBytes - pos
-			if end-pos < n {
-				n = end - pos
+			switch {
+			case !m.ssdHealthy():
+				m.noteDegraded()
+			default:
+				n := sl.validBytes - pos
+				if end-pos < n {
+					n = end - pos
+				}
+				if err := m.ssdRead(p[pos-off:pos-off+n], m.icBase()+sl.off+pos); err != nil {
+					// Error accounted by ssdRead; retire the failing extent
+					// so it is neither re-read nor re-allocated.
+					m.quarantineSSDList(sl)
+				} else {
+					m.noteTermSource(t, srcSSD)
+					m.stats.ListBytesFromSSD += n
+					m.emit(Event{Kind: EvListRead, Term: t, Level: LevelSSD, Bytes: n})
+					pos += n
+					m.onSSDListHit(t, sl)
+				}
 			}
-			if err := m.ssdRead(p[pos-off:pos-off+n], m.icBase()+sl.off+pos); err != nil {
-				return fmt.Errorf("core: SSD list read: %w", err)
-			}
-			m.noteTermSource(t, srcSSD)
-			m.stats.ListBytesFromSSD += n
-			m.emit(Event{Kind: EvListRead, Term: t, Level: LevelSSD, Bytes: n})
-			pos += n
-			m.onSSDListHit(t, sl)
 		}
 	}
 
@@ -209,26 +220,37 @@ func (m *Manager) fillL1List(t workload.TermID, l1 *memList, off int64, p []byte
 }
 
 // readThrough reads list bytes from below L1 (SSD prefix then index),
-// without touching L1 state. Used by whole-list fetches.
+// without touching L1 state. Used by whole-list fetches. An SSD failure
+// falls through to the index, and stats/events are only recorded for bytes
+// actually delivered — a failed read must not count as served traffic.
 func (m *Manager) readThrough(t workload.TermID, off int64, p []byte) {
 	pos := off
 	end := off + int64(len(p))
 	if sl := m.ssdListFor(t); sl != nil && pos < sl.validBytes {
-		n := sl.validBytes - pos
-		if end-pos < n {
-			n = end - pos
+		switch {
+		case !m.ssdHealthy():
+			m.noteDegraded()
+		default:
+			n := sl.validBytes - pos
+			if end-pos < n {
+				n = end - pos
+			}
+			if err := m.ssdRead(p[:n], m.icBase()+sl.off+pos); err != nil {
+				m.quarantineSSDList(sl)
+			} else {
+				m.stats.ListBytesFromSSD += n
+				m.noteTermSource(t, srcSSD)
+				m.emit(Event{Kind: EvListRead, Term: t, Level: LevelSSD, Bytes: n})
+				pos += n
+			}
 		}
-		m.ssdRead(p[:n], m.icBase()+sl.off+pos) //nolint:errcheck
-		m.stats.ListBytesFromSSD += n
-		m.noteTermSource(t, srcSSD)
-		m.emit(Event{Kind: EvListRead, Term: t, Level: LevelSSD, Bytes: n})
-		pos += n
 	}
 	if pos < end {
-		m.ix.ReadListRange(t, pos, p[pos-off:]) //nolint:errcheck
-		m.stats.ListBytesFromHDD += end - pos
-		m.noteTermSource(t, srcHDD)
-		m.emit(Event{Kind: EvListRead, Term: t, Level: LevelHDD, Bytes: end - pos})
+		if err := m.ix.ReadListRange(t, pos, p[pos-off:]); err == nil {
+			m.stats.ListBytesFromHDD += end - pos
+			m.noteTermSource(t, srcHDD)
+			m.emit(Event{Kind: EvListRead, Term: t, Level: LevelHDD, Bytes: end - pos})
+		}
 	}
 }
 

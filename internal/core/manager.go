@@ -75,12 +75,26 @@ func (rb *resultBlock) iren() int {
 // validCount returns the number of normal (valid, non-replaceable) entries.
 func (rb *resultBlock) validCount() int { return len(rb.slots) - rb.iren() }
 
+// freeSlot returns the index of the first empty slot, or -1 when full.
+func (rb *resultBlock) freeSlot() int {
+	for i, s := range rb.slots {
+		if s == nil {
+			return i
+		}
+	}
+	return -1
+}
+
 // bufferedResult is one evicted result entry waiting in the write buffer
 // for RB assembly (Fig 10b).
 type bufferedResult struct {
 	qid      uint64
 	data     []byte
 	loadedAt time.Duration
+	// requeued marks an entry whose RB flush already failed once; a second
+	// failure drops it (bounded retries keep the buffer from pinning
+	// unflushable data forever).
+	requeued bool
 }
 
 // memResult is an L1 result-cache payload.
@@ -141,6 +155,17 @@ type Manager struct {
 	// device: foreground reads arriving before the horizon must wait,
 	// which is how background write pressure degrades read latency (§VII-D).
 	ssdBusyUntil time.Duration
+
+	// SSD circuit breaker: consecutive device failures trip it, after
+	// which the manager serves around the L2 tier until the cooldown
+	// (simulated time) passes.
+	ssdFailStreak    int
+	breakerOpenUntil time.Duration
+
+	// staticRBScan is the first-free cursor into staticRBs for PinResult:
+	// static slots are never vacated, so RBs fill monotonically and the
+	// cursor only moves forward.
+	staticRBScan int
 
 	stats Stats
 }
@@ -266,8 +291,10 @@ func ev(freq, scBlocks int64) float64 {
 func (m *Manager) ssdRead(p []byte, off int64) error {
 	lat, err := m.ssd.ReadAt(p, off)
 	if err != nil {
+		m.noteSSDError(storage.OpRead, int64(len(p)))
 		return err
 	}
+	m.ssdFailStreak = 0
 	start := m.clock.Now()
 	if m.ssdBusyUntil > start {
 		start = m.ssdBusyUntil
@@ -284,8 +311,10 @@ func (m *Manager) ssdRead(p []byte, off int64) error {
 func (m *Manager) ssdWrite(p []byte, off int64) error {
 	lat, err := m.ssd.WriteAt(p, off)
 	if err != nil {
+		m.noteSSDError(storage.OpWrite, int64(len(p)))
 		return err
 	}
+	m.ssdFailStreak = 0
 	m.pushBusy(lat)
 	return nil
 }
@@ -297,9 +326,63 @@ func (m *Manager) ssdTrim(off, n int64) {
 		return
 	}
 	lat, err := t.Trim(off, n)
-	if err == nil {
-		m.pushBusy(lat)
+	if err != nil {
+		m.noteSSDError(storage.OpTrim, n)
+		return
 	}
+	m.ssdFailStreak = 0
+	m.pushBusy(lat)
+}
+
+// noteSSDError accounts one failed SSD operation: per-kind counter, an
+// EvIOError event (so trace sinks see every device failure), and the
+// circuit-breaker streak. BreakerThreshold consecutive failures open the
+// breaker for BreakerCooldown simulated time.
+func (m *Manager) noteSSDError(kind storage.OpKind, n int64) {
+	switch kind {
+	case storage.OpRead:
+		m.stats.SSDReadErrors++
+	case storage.OpWrite:
+		m.stats.SSDWriteErrors++
+	default:
+		m.stats.SSDTrimErrors++
+	}
+	m.emit(Event{Kind: EvIOError, Level: LevelSSD, Bytes: n})
+	if m.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	m.ssdFailStreak++
+	if m.ssdFailStreak >= m.cfg.BreakerThreshold {
+		m.ssdFailStreak = 0
+		m.breakerOpenUntil = m.clock.Now() + m.cfg.BreakerCooldown
+		m.stats.BreakerTrips++
+	}
+}
+
+// ssdHealthy reports whether the L2 tier should be used right now: there is
+// a device and the circuit breaker is closed.
+func (m *Manager) ssdHealthy() bool {
+	return m.ssd != nil && m.clock.Now() >= m.breakerOpenUntil
+}
+
+// DegradedMode reports whether the circuit breaker is currently open
+// (reads and flushes are routed around the SSD tier).
+func (m *Manager) DegradedMode() bool {
+	return m.ssd != nil && m.clock.Now() < m.breakerOpenUntil
+}
+
+// noteDegraded accounts one request served around the open breaker.
+func (m *Manager) noteDegraded() {
+	m.stats.DegradedServes++
+	m.emit(Event{Kind: EvDegraded, Level: LevelSSD})
+}
+
+// quarantine retires an allocator extent whose device range failed and
+// accounts the lost capacity.
+func (m *Manager) quarantine(a *storage.Allocator, off, n int64) {
+	a.Quarantine(off, n)
+	m.stats.ExtentsQuarantined++
+	m.stats.QuarantinedBytes += n
 }
 
 func (m *Manager) pushBusy(lat time.Duration) {

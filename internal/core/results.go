@@ -19,7 +19,7 @@ const (
 // to the caller and — per the hybrid scheme — an SSD hit is promoted to L1
 // while the SSD copy goes replaceable (Fig 9).
 func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
-	m.queryFreq[qid]++
+	bumpFreq(m.queryFreq, qid, m.cfg.FreqCap)
 
 	if e, ok := m.rc.Get(qid); ok {
 		mr := e.Value.(*memResult)
@@ -45,9 +45,15 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 	}
 	if loc, ok := m.resultLoc[qid]; ok {
 		if !loc.rb.static && m.resultExpired(loc.loadedAt) {
-			loc.rb.slots[loc.slot] = nil
-			delete(m.resultLoc, qid)
-			m.stats.ResultsExpired++
+			m.expireSSDResult(loc)
+			m.stats.ResultMisses++
+			m.emit(Event{Kind: EvResultMiss})
+			return nil, ResultMiss
+		}
+		if !m.ssdHealthy() {
+			// Breaker open: route around the SSD tier. The mapping stays —
+			// the entry may still be readable once the breaker closes.
+			m.noteDegraded()
 			m.stats.ResultMisses++
 			m.emit(Event{Kind: EvResultMiss})
 			return nil, ResultMiss
@@ -69,10 +75,70 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 			m.putResultL1(qid, data)
 			return data, ResultFromSSD
 		}
+		// Read failure (error already accounted by ssdRead). A dynamic
+		// extent that failed a read is retired and quarantined — on real
+		// SSDs a failing range tends to keep failing, so re-reading or
+		// re-allocating it would convert one fault into many. Static RBs
+		// are left in place (the breaker guards repeated failures; the
+		// static partition is rebuilt offline).
+		if !loc.rb.static {
+			if m.cfg.Policy == PolicyLRU {
+				m.quarantineLRUResult(loc)
+			} else {
+				m.quarantineRB(loc.rb)
+			}
+		}
 	}
 	m.stats.ResultMisses++
 	m.emit(Event{Kind: EvResultMiss})
 	return nil, ResultMiss
+}
+
+// expireSSDResult removes a TTL-expired dynamic SSD result entry with full
+// accounting: the eviction is counted and emitted (stats≡trace, DESIGN §9)
+// and the slot's bytes are trimmed. Under the LRU baseline the whole
+// pseudo-RB is released; under the cost-based policies only the slot is
+// invalidated (the RB lives on for IREN-based replacement).
+func (m *Manager) expireSSDResult(loc *ssdResult) {
+	m.stats.ResultsExpired++
+	if m.cfg.Policy == PolicyLRU {
+		m.freeLRUResult(loc)
+		return
+	}
+	loc.rb.slots[loc.slot] = nil
+	delete(m.resultLoc, loc.qid)
+	m.ssdTrim(loc.rb.off+int64(loc.slot)*m.cfg.ResultEntryBytes, m.cfg.ResultEntryBytes)
+	m.stats.L2ResultEvictions++
+	m.emit(Event{Kind: EvResultEvict, Level: LevelSSD})
+}
+
+// quarantineRB retires a dynamic result block whose device range failed:
+// mappings are dropped and the extent is quarantined (never re-allocated)
+// instead of freed. No trim — the range is being abandoned, not recycled.
+func (m *Manager) quarantineRB(rb *resultBlock) {
+	for _, loc := range rb.slots {
+		if loc != nil {
+			delete(m.resultLoc, loc.qid)
+		}
+	}
+	if e, ok := m.rbLRU.Peek(rb.num); ok {
+		m.rbLRU.RemoveEntry(e)
+	}
+	m.quarantine(m.rcAlloc, rb.off, m.cfg.BlockBytes)
+	m.stats.RBRetired++
+	m.emit(Event{Kind: EvResultEvict, Level: LevelSSD})
+}
+
+// quarantineLRUResult is the baseline counterpart of quarantineRB for a
+// single-entry pseudo-RB.
+func (m *Manager) quarantineLRUResult(loc *ssdResult) {
+	delete(m.resultLoc, loc.qid)
+	if e, ok := m.rbLRU.Peek(loc.rb.num); ok {
+		m.rbLRU.RemoveEntry(e)
+	}
+	m.quarantine(m.rcAlloc, loc.rb.off, m.cfg.ResultEntryBytes)
+	m.stats.L2ResultEvictions++
+	m.emit(Event{Kind: EvResultEvict, Level: LevelSSD})
 }
 
 // PutResult caches a freshly computed result entry in L1. The entry must
@@ -172,6 +238,13 @@ func (m *Manager) flushResultBlock() {
 	batch := m.writeBuf[:n]
 	m.writeBuf = append([]bufferedResult(nil), m.writeBuf[n:]...)
 
+	if !m.ssdHealthy() {
+		// Breaker open: flushing would hammer the failing device. Drop the
+		// batch with accounting instead of letting the buffer grow unbounded.
+		m.stats.ResultsDropped += int64(n)
+		return
+	}
+
 	off, ok := m.rcAlloc.AllocAligned(m.cfg.BlockBytes, m.cfg.BlockBytes)
 	if !ok {
 		rb := m.chooseVictimRB()
@@ -197,9 +270,19 @@ func (m *Manager) flushResultBlock() {
 		m.resultLoc[b.qid] = loc
 	}
 	if err := m.ssdWrite(buf, off); err != nil {
-		m.rcAlloc.Free(off, m.cfg.BlockBytes)
+		// The write failed (error accounted by ssdWrite): quarantine the
+		// extent so the bad range is not immediately re-allocated, and
+		// re-queue each entry once — a second failure drops it, counted.
+		m.quarantine(m.rcAlloc, off, m.cfg.BlockBytes)
 		for _, b := range batch {
 			delete(m.resultLoc, b.qid)
+			if b.requeued {
+				m.stats.ResultsDropped++
+				continue
+			}
+			b.requeued = true
+			m.writeBuf = append(m.writeBuf, b)
+			m.stats.ResultsRequeued++
 		}
 		return
 	}
@@ -249,6 +332,10 @@ func (m *Manager) retireRB(rb *resultBlock) {
 // small-random-write storm of §VI-C1 — evicting strictly by recency.
 func (m *Manager) evictResultLRU(qid uint64, data []byte) {
 	size := int64(len(data))
+	if !m.ssdHealthy() {
+		m.stats.ResultsDropped++
+		return
+	}
 	if old, ok := m.resultLoc[qid]; ok {
 		m.freeLRUResult(old)
 	}
@@ -272,7 +359,9 @@ func (m *Manager) evictResultLRU(qid uint64, data []byte) {
 	loc := &ssdResult{qid: qid, rb: rb, slot: 0, loadedAt: m.clock.Now()}
 	rb.slots[0] = loc
 	if err := m.ssdWrite(data, off); err != nil {
-		m.rcAlloc.Free(off, size)
+		// Accounted loss: the entry is gone and the failed range is retired.
+		m.quarantine(m.rcAlloc, off, size)
+		m.stats.ResultsDropped++
 		return
 	}
 	m.stats.ResultBytesToSSD += size
@@ -302,20 +391,21 @@ func (m *Manager) PinResult(qid uint64, data []byte) bool {
 	if _, ok := m.resultLoc[qid]; ok {
 		return true
 	}
+	if !m.ssdHealthy() {
+		return false
+	}
 	data = m.PadResult(data)
 
-	// Find (or open) a static RB with a free slot.
+	// Find (or open) a static RB with a free slot. Static slots are never
+	// vacated, so the first-free cursor only moves forward: pinning N
+	// entries costs O(N), not O(N²) rescans of already-full RBs.
 	var rb *resultBlock
-	for _, cand := range m.staticRBs {
-		for _, s := range cand.slots {
-			if s == nil {
-				rb = cand
-				break
-			}
-		}
-		if rb != nil {
+	for m.staticRBScan < len(m.staticRBs) {
+		if cand := m.staticRBs[m.staticRBScan]; cand.freeSlot() >= 0 {
+			rb = cand
 			break
 		}
+		m.staticRBScan++
 	}
 	if rb == nil {
 		if int64(len(m.staticRBs)+1)*m.cfg.BlockBytes > m.StaticResultBudget() {
@@ -329,21 +419,23 @@ func (m *Manager) PinResult(qid uint64, data []byte) bool {
 		m.nextRB++
 		m.staticRBs = append(m.staticRBs, rb)
 	}
-	for i, s := range rb.slots {
-		if s != nil {
-			continue
-		}
-		loc := &ssdResult{qid: qid, rb: rb, slot: i}
-		off := rb.off + int64(i)*m.cfg.ResultEntryBytes
-		if err := m.ssdWrite(data, off); err != nil {
-			return false
-		}
-		m.stats.ResultBytesToSSD += int64(len(data))
-		rb.slots[i] = loc
-		m.resultLoc[qid] = loc
-		return true
+	i := rb.freeSlot()
+	if i < 0 {
+		return false
 	}
-	return false
+	off := rb.off + int64(i)*m.cfg.ResultEntryBytes
+	if err := m.ssdWrite(data, off); err != nil {
+		// Error accounted by ssdWrite; the slot stays open for a retry and
+		// the breaker stops a persistently failing device from being pinned
+		// against repeatedly.
+		return false
+	}
+	m.stats.ResultBytesToSSD += int64(len(data))
+	m.emit(Event{Kind: EvResultFlush, Bytes: int64(len(data))})
+	loc := &ssdResult{qid: qid, rb: rb, slot: i}
+	rb.slots[i] = loc
+	m.resultLoc[qid] = loc
+	return true
 }
 
 // StaticResultBudget returns the byte budget of the static result
@@ -359,10 +451,16 @@ func (m *Manager) StaticResultBudget() int64 {
 func (m *Manager) WriteBufferLen() int { return len(m.writeBuf) }
 
 // FlushWriteBuffer forces assembly of any full RBs and reports how many
-// entries remain buffered (used at experiment end).
+// entries remain buffered (used at experiment end). The loop is progress-
+// checked: a flush that re-queues its whole batch after a write failure
+// leaves the buffer length unchanged, and retrying immediately would spin.
 func (m *Manager) FlushWriteBuffer() int {
 	for len(m.writeBuf) >= m.entriesPerRB {
+		before := len(m.writeBuf)
 		m.flushResultBlock()
+		if len(m.writeBuf) >= before {
+			break
+		}
 	}
 	return len(m.writeBuf)
 }

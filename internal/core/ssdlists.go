@@ -22,6 +22,12 @@ func (m *Manager) flushListToSSD(ml *memList) {
 		m.stats.ListsDiscarded++
 		return
 	}
+	if !m.ssdHealthy() {
+		// Breaker open: discard instead of writing into a failing device.
+		// The list is still fully readable from the backing index.
+		m.stats.ListsDiscarded++
+		return
+	}
 	if m.cfg.Policy == PolicyLRU {
 		m.flushListLRU(ml)
 		return
@@ -81,7 +87,10 @@ func (m *Manager) flushListToSSD(ml *memList) {
 	buf := make([]byte, scBytes)
 	copy(buf, ml.prefix[:validBytes])
 	if err := m.ssdWrite(buf, m.icBase()+off); err != nil {
-		m.icAlloc.Free(off, scBytes)
+		// Error accounted by ssdWrite; the list is lost from the cache
+		// (still on the HDD) and the failed extent is retired.
+		m.quarantine(m.icAlloc, off, scBytes)
+		m.stats.ListsDiscarded++
 		return
 	}
 	m.stats.ListBytesToSSD += scBytes
@@ -163,6 +172,21 @@ func (m *Manager) evictSSDList(e *cache.Entry) {
 	m.emit(Event{Kind: EvListEvict, Term: sl.term, Level: LevelSSD})
 }
 
+// quarantineSSDList retires an L2 list entry whose device range failed:
+// the entry is unmapped and its extent quarantined instead of freed (and
+// not trimmed — the range is abandoned, not recycled). Works for both
+// dynamic entries and static pins; a pin that cannot be read is worthless.
+func (m *Manager) quarantineSSDList(sl *ssdList) {
+	if sl.static {
+		delete(m.icStatic, sl.term)
+	} else if e, ok := m.icLRU.Peek(uint64(sl.term)); ok && e.Value.(*ssdList) == sl {
+		m.icLRU.RemoveEntry(e)
+	}
+	m.quarantine(m.icAlloc, sl.off, sl.blockBytes)
+	m.stats.L2ListEvictions++
+	m.emit(Event{Kind: EvListEvict, Term: sl.term, Level: LevelSSD})
+}
+
 // dropSSDList removes a specific term's dynamic entry (used before
 // rewriting a larger prefix for the same term).
 func (m *Manager) dropSSDList(sl *ssdList) {
@@ -210,7 +234,8 @@ func (m *Manager) flushListLRU(ml *memList) {
 		m.emit(Event{Kind: EvListEvict, Term: sl.term, Level: LevelSSD})
 	}
 	if err := m.ssdWrite(ml.prefix, m.icBase()+off); err != nil {
-		m.icAlloc.Free(off, size)
+		m.quarantine(m.icAlloc, off, size)
+		m.stats.ListsDiscarded++
 		return
 	}
 	m.stats.ListBytesToSSD += size
@@ -231,6 +256,9 @@ func (m *Manager) PinList(t workload.TermID) bool {
 	}
 	if _, ok := m.icStatic[t]; ok {
 		return true
+	}
+	if !m.ssdHealthy() {
+		return false
 	}
 	total := m.ix.ListBytes(t)
 	si := int64(float64(total) * m.pu(t))
@@ -259,7 +287,7 @@ func (m *Manager) PinList(t workload.TermID) bool {
 		return false
 	}
 	if err := m.ssdWrite(buf, m.icBase()+off); err != nil {
-		m.icAlloc.Free(off, scBytes)
+		m.quarantine(m.icAlloc, off, scBytes)
 		return false
 	}
 	m.stats.ListBytesToSSD += scBytes

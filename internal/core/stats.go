@@ -162,6 +162,25 @@ type Stats struct {
 	ResultsExpired int64
 	ListsExpired   int64
 
+	// Fault accounting. Every SSD device error is counted here and every
+	// entry lost to one lands in a drop/discard/requeue counter — injected
+	// faults never silently lose accounting.
+	SSDReadErrors  int64
+	SSDWriteErrors int64
+	SSDTrimErrors  int64
+	// ResultsRequeued counts buffered result entries put back in the write
+	// buffer after their RB flush failed (each entry is requeued at most
+	// once; a second failure drops it into ResultsDropped).
+	ResultsRequeued int64
+	// ExtentsQuarantined / QuarantinedBytes track SSD cache space retired
+	// after device errors (never re-allocated).
+	ExtentsQuarantined int64
+	QuarantinedBytes   int64
+	// BreakerTrips counts circuit-breaker openings; DegradedServes counts
+	// requests served around the SSD tier while the breaker was open.
+	BreakerTrips   int64
+	DegradedServes int64
+
 	// Per-query outcome classification.
 	Situations SituationTally
 	Queries    int64
@@ -290,12 +309,34 @@ func (m *Manager) EndQuery(elapsed time.Duration) {
 func (m *Manager) noteTermAccess(t workload.TermID) {
 	if m.curQueryActive {
 		if _, seen := m.curTermSrc[t]; !seen {
-			m.termFreq[t]++
+			bumpFreq(m.termFreq, t, m.cfg.FreqCap)
 			m.curTermSrc[t] = 0
 		}
 		return
 	}
-	m.termFreq[t]++
+	bumpFreq(m.termFreq, t, m.cfg.FreqCap)
+}
+
+// bumpFreq increments one frequency counter, decaying the whole map when it
+// outgrows Config.FreqCap: all counts halve and zeros are pruned until the
+// map fits. Uniform decay divides every EV = Freq/SC by the same factor, so
+// the cost-based replacement ordering is preserved while memory stays
+// bounded for arbitrarily many distinct keys.
+func bumpFreq[K comparable](m map[K]int64, k K, limit int) {
+	m[k]++
+	// Each pass halves every count and prunes zeros; counts strictly
+	// decrease, so after at most log2(max) passes the map empties — the
+	// loop always terminates.
+	for limit > 0 && len(m) > limit {
+		for key, v := range m {
+			v /= 2
+			if v == 0 {
+				delete(m, key)
+			} else {
+				m[key] = v
+			}
+		}
+	}
 }
 
 func (m *Manager) noteTermSource(t workload.TermID, src sourceSet) {

@@ -207,6 +207,7 @@ func All() []Experiment {
 		{ID: "ftl", Title: "§II-A: cache workload across FTL families (page-map vs hybrid-log vs block-map)", Run: FTLComparison},
 		{ID: "dynamic", Title: "§IV-B/§VIII: dynamic scenario — TTL on cached data (future work)", Run: DynamicScenario},
 		{ID: "threelevel", Title: "§VIII/[19]: three-level caching — intersection cache on a conjunctive workload", Run: ThreeLevel},
+		{ID: "faults", Title: "Fault injection: SSD op-error sweep — graceful degradation toward the HDD baseline", Run: Faults},
 	}
 }
 

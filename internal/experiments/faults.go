@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	hybrid "hybridstore"
+	"hybridstore/internal/core"
+	"hybridstore/internal/metrics"
+	"hybridstore/internal/storage"
+)
+
+// faultRates is the SSD op-error sweep: healthy, rare transients, the 1%
+// acceptance point, and on up to a fully failed device. At 100% every L2
+// access fails, so the two-level system must converge on the one-level
+// (memory + HDD) baseline measured alongside.
+var faultRates = []float64{0, 0.001, 0.01, 0.05, 0.2, 1.0}
+
+// faultSpec builds the injector spec for one sweep point: the same error
+// probability on reads, writes and trims, with a quarter of injected
+// errors leaving a sticky bad extent behind (so sustained fault pressure
+// also costs capacity, not just retries).
+func faultSpec(rate float64) storage.FaultSpec {
+	if rate <= 0 {
+		return storage.FaultSpec{}
+	}
+	op := storage.OpFaults{ErrProb: rate}
+	return storage.FaultSpec{
+		Seed:       0xfa17 ^ uint64(rate*1e6),
+		Read:       op,
+		Write:      op,
+		Trim:       op,
+		StickyProb: 0.25,
+	}
+}
+
+// faultSystem assembles a two-level CBLRU system with the given fault spec
+// (mirrors Scale.system, which has no fault knob).
+func (sc Scale) faultSystem(spec storage.FaultSpec, mode hybrid.CacheMode) (*hybrid.System, error) {
+	colSpec := sc.collection(sc.BaseDocs)
+	img, err := sharedImage(colSpec)
+	if err != nil {
+		return nil, err
+	}
+	return hybrid.New(hybrid.Config{
+		Collection:  colSpec,
+		QueryLog:    sc.log(),
+		Cache:       sc.cacheConfig(core.PolicyCBLRU),
+		Mode:        mode,
+		IndexOn:     hybrid.IndexOnHDD,
+		Engine:      sc.engineConfig(),
+		UseModelPU:  true,
+		IndexImage:  img,
+		CacheFaults: spec,
+	})
+}
+
+// Faults sweeps the injected SSD op-error rate on the two-level CBLRU
+// system and reports how hit ratios, latency and the fault counters react,
+// against the one-level (memory + HDD, no SSD to fail) baseline. Every
+// lost entry is accounted: dropped + discarded + requeued line up with the
+// injected error counts, and the quarantine/breaker columns show the
+// manager routing around the failing device.
+func Faults(w io.Writer, sc Scale) error {
+	type cell struct {
+		rc, ic, ric float64
+		respMS      float64
+		qps         float64
+		ioErrs      int64
+		requeued    int64
+		dropped     int64
+		discarded   int64
+		quarKB      int64
+		trips       int64
+		degraded    int64
+	}
+	// Points: one per fault rate, plus the one-level baseline at the end.
+	cells := make([]cell, len(faultRates)+1)
+	err := sc.forPoints(len(cells), func(p int) error {
+		var sys *hybrid.System
+		var err error
+		if p < len(faultRates) {
+			sys, err = sc.faultSystem(faultSpec(faultRates[p]), hybrid.CacheTwoLevel)
+		} else {
+			sys, err = sc.faultSystem(storage.FaultSpec{}, hybrid.CacheOneLevel)
+		}
+		if err != nil {
+			return err
+		}
+		rs, ms, err := runMeasured(sys, sc)
+		if err != nil {
+			return err
+		}
+		cells[p] = cell{
+			rc:        ms.ResultHitRatio(),
+			ic:        ms.ListHitRatio(),
+			ric:       ms.CombinedHitRatio(),
+			respMS:    float64(rs.MeanResponseTime().Microseconds()) / 1000,
+			qps:       rs.Throughput(),
+			ioErrs:    ms.SSDReadErrors + ms.SSDWriteErrors + ms.SSDTrimErrors,
+			requeued:  ms.ResultsRequeued,
+			dropped:   ms.ResultsDropped,
+			discarded: ms.ListsDiscarded,
+			quarKB:    ms.QuarantinedBytes >> 10,
+			trips:     ms.BreakerTrips,
+			degraded:  ms.DegradedServes,
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	tab := metrics.NewTable("err_rate", "RC", "IC", "RIC", "resp_ms", "qps",
+		"io_errs", "requeued", "dropped", "discarded", "quar_kb", "trips", "degraded")
+	for i, c := range cells {
+		label := "1LC(no SSD)"
+		if i < len(faultRates) {
+			label = fmt.Sprintf("%.3f", faultRates[i])
+		}
+		tab.AddRow(label,
+			fmt.Sprintf("%.3f", c.rc), fmt.Sprintf("%.3f", c.ic), fmt.Sprintf("%.3f", c.ric),
+			fmt.Sprintf("%.2f", c.respMS), fmtQPS(c.qps),
+			c.ioErrs, c.requeued, c.dropped, c.discarded, c.quarKB, c.trips, c.degraded)
+	}
+	fmt.Fprintln(w, "# Faults — SSD op-error rate sweep, two-level CBLRU vs one-level baseline")
+	io.WriteString(w, tab.String())
+	fmt.Fprintln(w, "(expected: hit ratios and throughput degrade toward the 1LC row as the error rate rises; all losses accounted in the drop/requeue/quarantine columns)")
+	return nil
+}

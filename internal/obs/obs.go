@@ -19,6 +19,12 @@ const (
 	GaugeRICHitRatio = "ric_hit_ratio"
 	GaugeSSDErases   = "cache_ssd_erases"
 	GaugeSSDWriteAmp = "cache_ssd_write_amp"
+	// GaugeDegradedMode is 1 while the cache manager's SSD circuit breaker
+	// is open (reads routed around the L2 tier), 0 otherwise.
+	GaugeDegradedMode = "cache_degraded_mode"
+	// GaugeQuarantinedBytes tracks SSD cache capacity retired after device
+	// errors.
+	GaugeQuarantinedBytes = "cache_quarantined_bytes"
 )
 
 // numSituations mirrors core's Table I situation count; slot numSituations
@@ -153,6 +159,11 @@ func (o *Observer) HandleEvent(e core.Event) {
 		o.curSitSeen = true
 		o.mu.Unlock()
 		o.Tracer.SetSituation(e.Sit.String())
+	case core.EvIOError:
+		o.Registry.Counter("ssd_io_errors_total").Inc()
+		o.Registry.Counter("ssd_io_error_bytes_total").Add(e.Bytes)
+	case core.EvDegraded:
+		o.Registry.Counter("degraded_serves_total").Inc()
 	}
 }
 

@@ -12,8 +12,9 @@ import (
 //
 // Allocator is not safe for concurrent use.
 type Allocator struct {
-	size int64
-	free []extent // sorted by offset, non-adjacent (always coalesced)
+	size        int64
+	free        []extent // sorted by offset, non-adjacent (always coalesced)
+	quarantined []extent // retired extents, never returned to the free pool
 }
 
 type extent struct {
@@ -155,6 +156,37 @@ func (a *Allocator) insertFree(e extent) {
 		a.free[i-1].len += a.free[i].len
 		a.free = append(a.free[:i], a.free[i+1:]...)
 	}
+}
+
+// Quarantine retires the currently-allocated extent [off, off+n): instead
+// of returning to the free pool it is withheld from all future allocations.
+// The cache manager quarantines extents whose device range failed, so a bad
+// region is not immediately handed back out. Quarantining a range that
+// overlaps the free pool panics, like a double Free would.
+func (a *Allocator) Quarantine(off, n int64) {
+	if n <= 0 || off < 0 || off+n > a.size {
+		panic(fmt.Sprintf("storage: Quarantine(%d,%d) out of range", off, n))
+	}
+	for _, e := range a.free {
+		if off < e.off+e.len && e.off < off+n {
+			panic(fmt.Sprintf("storage: quarantine of free range [%d,+%d)", off, n))
+		}
+	}
+	for _, e := range a.quarantined {
+		if off < e.off+e.len && e.off < off+n {
+			panic(fmt.Sprintf("storage: double quarantine of [%d,+%d)", off, n))
+		}
+	}
+	a.quarantined = append(a.quarantined, extent{off, n})
+}
+
+// QuarantinedBytes returns the total space retired by Quarantine.
+func (a *Allocator) QuarantinedBytes() int64 {
+	var n int64
+	for _, e := range a.quarantined {
+		n += e.len
+	}
+	return n
 }
 
 // FragmentCount returns the number of disjoint free extents; 1 means the

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"hybridstore/internal/simclock"
+)
+
+// newFaultyMem builds a FaultyDevice over a fresh 1 MiB MemDevice.
+func newFaultyMem(t *testing.T, spec FaultSpec) (*FaultyDevice, *MemDevice) {
+	t.Helper()
+	mem := NewMemDevice("ssd", 1<<20, simclock.New(), DefaultMemParams())
+	return NewFaultyDevice(mem, spec, nil), mem
+}
+
+// trimMem adds a no-op Trim to MemDevice so trim injection is testable.
+type trimMem struct {
+	*MemDevice
+	trims int
+}
+
+func (d *trimMem) Trim(off, n int64) (time.Duration, error) {
+	d.trims++
+	return 0, nil
+}
+
+func TestFaultSpecEnabled(t *testing.T) {
+	if (FaultSpec{}).Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	cases := []FaultSpec{
+		{Read: OpFaults{ErrProb: 0.1}},
+		{Write: OpFaults{SlowProb: 0.1}},
+		{Trim: OpFaults{ErrProb: 1}},
+		{BadExtents: 1},
+	}
+	for i, s := range cases {
+		if !s.Enabled() {
+			t.Errorf("case %d: spec %+v reports disabled", i, s)
+		}
+	}
+}
+
+func TestFaultyZeroSpecTransparent(t *testing.T) {
+	d, mem := newFaultyMem(t, FaultSpec{})
+	want := []byte("pass-through payload")
+	if _, err := d.WriteAt(want, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if _, err := d.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read back wrong bytes")
+	}
+	if fs := d.FaultStats(); fs != (FaultStats{}) {
+		t.Fatalf("zero spec produced fault stats %+v", fs)
+	}
+	if d.Inner() != Device(mem) {
+		t.Fatal("Inner() does not return the wrapped device")
+	}
+	if d.Name() != mem.Name() || d.Size() != mem.Size() {
+		t.Fatal("Name/Size not forwarded")
+	}
+}
+
+func TestFaultyDeterministicReplay(t *testing.T) {
+	spec := FaultSpec{
+		Seed:       42,
+		Read:       OpFaults{ErrProb: 0.3, SlowProb: 0.2, SlowFactor: 4},
+		Write:      OpFaults{ErrProb: 0.3},
+		StickyProb: 0.5,
+	}
+	run := func() ([]bool, FaultStats) {
+		d, _ := newFaultyMem(t, spec)
+		var outcomes []bool
+		buf := make([]byte, 512)
+		for i := 0; i < 500; i++ {
+			off := int64(i%1000) * 512
+			var err error
+			if i%3 == 0 {
+				_, err = d.WriteAt(buf, off)
+			} else {
+				_, err = d.ReadAt(buf, off)
+			}
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes, d.FaultStats()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("fault stats diverge across identical runs: %+v vs %+v", s1, s2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("op %d outcome diverges across identical runs", i)
+		}
+	}
+	if s1.ReadErrors == 0 || s1.WriteErrors == 0 {
+		t.Fatalf("expected injected errors at 30%%, got %+v", s1)
+	}
+}
+
+func TestFaultyErrorRateRoughlyMatchesProbability(t *testing.T) {
+	spec := FaultSpec{Seed: 7, Read: OpFaults{ErrProb: 0.25}}
+	d, _ := newFaultyMem(t, spec)
+	buf := make([]byte, 64)
+	const ops = 4000
+	var fails int
+	for i := 0; i < ops; i++ {
+		if _, err := d.ReadAt(buf, int64(i%1000)*64); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: error %v is not ErrInjected", i, err)
+			}
+			fails++
+		}
+	}
+	rate := float64(fails) / ops
+	if rate < 0.15 || rate > 0.35 {
+		t.Fatalf("observed error rate %.3f, want ~0.25", rate)
+	}
+	if got := d.FaultStats().ReadErrors; got != int64(fails) {
+		t.Fatalf("ReadErrors %d != observed failures %d", got, fails)
+	}
+}
+
+func TestFaultyWriteFailureHasNoSideEffects(t *testing.T) {
+	d, mem := newFaultyMem(t, FaultSpec{Write: OpFaults{ErrProb: 1}})
+	if _, err := mem.WriteAt([]byte("baseline"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte("overwrite"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write did not fail: %v", err)
+	}
+	got := make([]byte, 8)
+	if _, err := mem.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("baseline")) {
+		t.Fatalf("failed write mutated device: %q", got)
+	}
+}
+
+func TestFaultyLatencySpikes(t *testing.T) {
+	d, mem := newFaultyMem(t, FaultSpec{Read: OpFaults{SlowProb: 1, SlowFactor: 4}})
+	buf := make([]byte, 4096)
+	base, err := mem.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spiked, err := d.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spiked < 3*base {
+		t.Fatalf("spiked latency %v not inflated over base %v", spiked, base)
+	}
+	if d.FaultStats().LatencySpikes != 1 {
+		t.Fatalf("LatencySpikes = %d, want 1", d.FaultStats().LatencySpikes)
+	}
+}
+
+func TestFaultyStickyBadExtent(t *testing.T) {
+	mem := NewMemDevice("ssd", 1<<20, simclock.New(), DefaultMemParams())
+	inner := &trimMem{MemDevice: mem}
+	d := NewFaultyDevice(inner, FaultSpec{
+		Write:      OpFaults{ErrProb: 1},
+		StickyProb: 1,
+	}, nil)
+
+	// The first write fails and marks [0,+4096) sticky.
+	if _, err := d.WriteAt(make([]byte, 4096), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write did not fail: %v", err)
+	}
+	// Reads have no ErrProb of their own, so a failing read proves the
+	// sticky extent (any overlap counts).
+	buf := make([]byte, 64)
+	if _, err := d.ReadAt(buf, 4000); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read overlapping bad extent did not fail: %v", err)
+	}
+	// Outside the extent, reads pass.
+	if _, err := d.ReadAt(buf, 8192); err != nil {
+		t.Fatalf("read outside bad extent failed: %v", err)
+	}
+	// Trim of the bad range still succeeds: discarding dead blocks is
+	// always possible.
+	if _, err := d.Trim(0, 4096); err != nil {
+		t.Fatalf("trim over bad extent failed: %v", err)
+	}
+	if inner.trims != 1 {
+		t.Fatalf("trim not forwarded: %d", inner.trims)
+	}
+	fs := d.FaultStats()
+	if fs.BadExtents != 1 || fs.BadExtentHits != 1 || fs.BadExtentBytes != 4096 {
+		t.Fatalf("sticky accounting wrong: %+v", fs)
+	}
+}
+
+func TestFaultyPreseededBadExtents(t *testing.T) {
+	spec := FaultSpec{Seed: 3, BadExtents: 3, BadExtentBytes: 4096}
+	d, _ := newFaultyMem(t, spec)
+	fs := d.FaultStats()
+	if fs.BadExtents != 3 || fs.BadExtentBytes != 3*4096 {
+		t.Fatalf("pre-seed accounting wrong: %+v", fs)
+	}
+	// A full scan in extent-sized steps must hit every bad range.
+	buf := make([]byte, 4096)
+	var fails int
+	for off := int64(0); off+4096 <= d.Size(); off += 4096 {
+		if _, err := d.ReadAt(buf, off); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("off %d: %v", off, err)
+			}
+			fails++
+		}
+	}
+	// Extents may straddle scan steps (they land at arbitrary offsets), so
+	// each of the 3 hits 1–2 scan reads; overlap between extents can only
+	// lower the count.
+	if fails < 1 || fails > 6 {
+		t.Fatalf("scan hit %d failing reads, want 1..6 for 3 extents", fails)
+	}
+}
+
+func TestFaultyTrimWithoutTrimmer(t *testing.T) {
+	d, _ := newFaultyMem(t, FaultSpec{})
+	if _, err := d.Trim(0, 4096); err == nil {
+		t.Fatal("trim on a non-Trimmer inner device succeeded")
+	}
+	if d.FaultStats().TrimErrors != 0 {
+		t.Fatal("unsupported trim counted as injected error")
+	}
+}
+
+func TestFaultyRangeCheckPrecedesInjection(t *testing.T) {
+	d, _ := newFaultyMem(t, FaultSpec{Read: OpFaults{ErrProb: 1}})
+	buf := make([]byte, 64)
+	if _, err := d.ReadAt(buf, d.Size()); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range read: got %v, want ErrOutOfRange", err)
+	}
+	if d.FaultStats().ReadErrors != 0 {
+		t.Fatal("range violation counted as injected error")
+	}
+}

@@ -45,6 +45,18 @@ func (s *System) EnableObservability(o *obs.Observer) {
 			}
 			return s.Manager.Stats().CombinedHitRatio()
 		})
+		o.Registry.Gauge(obs.GaugeDegradedMode, func() float64 {
+			if s.Manager == nil || !s.Manager.DegradedMode() {
+				return 0
+			}
+			return 1
+		})
+		o.Registry.Gauge(obs.GaugeQuarantinedBytes, func() float64 {
+			if s.Manager == nil {
+				return 0
+			}
+			return float64(s.Manager.Stats().QuarantinedBytes)
+		})
 	}
 	if s.CacheSSD != nil {
 		o.Registry.Gauge(obs.GaugeSSDErases, func() float64 {
@@ -52,6 +64,12 @@ func (s *System) EnableObservability(o *obs.Observer) {
 		})
 		o.Registry.Gauge(obs.GaugeSSDWriteAmp, func() float64 {
 			return s.CacheSSD.Wear().WriteAmplification
+		})
+	}
+	if s.CacheFaults != nil {
+		o.Registry.Gauge("cache_injected_errors", func() float64 {
+			fs := s.CacheFaults.FaultStats()
+			return float64(fs.ReadErrors + fs.WriteErrors + fs.TrimErrors)
 		})
 	}
 	if s.HDD != nil {

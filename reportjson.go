@@ -42,6 +42,30 @@ type WearReport struct {
 	FreeBlocks         int     `json:"free_blocks"`
 }
 
+// FaultReport summarizes injected cache-SSD faults and the manager's
+// reaction to them, so a faulted run's data loss is fully auditable from
+// the report alone.
+type FaultReport struct {
+	// Injector side (what the device did).
+	InjectedReadErrors  int64 `json:"injected_read_errors"`
+	InjectedWriteErrors int64 `json:"injected_write_errors"`
+	InjectedTrimErrors  int64 `json:"injected_trim_errors"`
+	LatencySpikes       int64 `json:"latency_spikes"`
+	BadExtents          int   `json:"bad_extents"`
+	BadExtentHits       int64 `json:"bad_extent_hits"`
+	// Manager side (how the cache core degraded).
+	SSDReadErrors      int64 `json:"ssd_read_errors"`
+	SSDWriteErrors     int64 `json:"ssd_write_errors"`
+	SSDTrimErrors      int64 `json:"ssd_trim_errors"`
+	ResultsRequeued    int64 `json:"results_requeued"`
+	ResultsDropped     int64 `json:"results_dropped"`
+	ListsDiscarded     int64 `json:"lists_discarded"`
+	ExtentsQuarantined int64 `json:"extents_quarantined"`
+	QuarantinedBytes   int64 `json:"quarantined_bytes"`
+	BreakerTrips       int64 `json:"breaker_trips"`
+	DegradedServes     int64 `json:"degraded_serves"`
+}
+
 // HitRatioReport carries the Fig 14 ratios.
 type HitRatioReport struct {
 	RC  float64 `json:"rc"`
@@ -66,6 +90,7 @@ type JSONReport struct {
 	HitRatios  *HitRatioReport       `json:"hit_ratios,omitempty"`
 	Situations []SituationReport     `json:"situations,omitempty"`
 	Stats      *core.Stats           `json:"stats,omitempty"`
+	Faults     *FaultReport          `json:"faults,omitempty"`
 	Devices    []DeviceReport        `json:"devices"`
 	Wear       map[string]WearReport `json:"wear,omitempty"`
 	Registry   *obs.RegistrySnapshot `json:"registry,omitempty"`
@@ -111,6 +136,29 @@ func (s *System) BuildReport() *JSONReport {
 				sr.P50US, sr.P95US, sr.P99US = lat.P50, lat.P95, lat.P99
 			}
 			r.Situations = append(r.Situations, sr)
+		}
+	}
+
+	if s.CacheFaults != nil && s.Manager != nil {
+		fs := s.CacheFaults.FaultStats()
+		st := s.Manager.Stats()
+		r.Faults = &FaultReport{
+			InjectedReadErrors:  fs.ReadErrors,
+			InjectedWriteErrors: fs.WriteErrors,
+			InjectedTrimErrors:  fs.TrimErrors,
+			LatencySpikes:       fs.LatencySpikes,
+			BadExtents:          fs.BadExtents,
+			BadExtentHits:       fs.BadExtentHits,
+			SSDReadErrors:       st.SSDReadErrors,
+			SSDWriteErrors:      st.SSDWriteErrors,
+			SSDTrimErrors:       st.SSDTrimErrors,
+			ResultsRequeued:     st.ResultsRequeued,
+			ResultsDropped:      st.ResultsDropped,
+			ListsDiscarded:      st.ListsDiscarded,
+			ExtentsQuarantined:  st.ExtentsQuarantined,
+			QuarantinedBytes:    st.QuarantinedBytes,
+			BreakerTrips:        st.BreakerTrips,
+			DegradedServes:      st.DegradedServes,
 		}
 	}
 
