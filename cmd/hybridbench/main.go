@@ -131,10 +131,10 @@ func main() {
 
 	out := bufio.NewWriterSize(os.Stdout, 1<<16)
 	defer out.Flush()
-	suiteStart := time.Now()
+	suiteStart := time.Now() //hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results
 	for _, e := range targets {
 		fmt.Fprintf(out, "==== %s — %s ====\n", e.ID, e.Title)
-		start := time.Now()
+		start := time.Now() //hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results
 		if err := e.Run(out, sc); err != nil {
 			out.Flush()
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
@@ -142,9 +142,11 @@ func main() {
 		}
 		fmt.Fprintln(out)
 		out.Flush()
+		//hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results
 		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	images, builds, bytes := experiments.ArtifactStats()
+	//hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results
 	fmt.Fprintf(os.Stderr, "suite completed in %v (jobs=%d; artifact cache: %d index builds for %d specs, %.1f MiB retained)\n",
 		time.Since(suiteStart).Round(time.Millisecond), sc.Jobs, builds, images, float64(bytes)/(1<<20))
 }

@@ -1,0 +1,62 @@
+// Command hybridlint runs the repository's contract-enforcing static
+// analyzers (internal/analysis) over the given package patterns:
+//
+//	go run ./cmd/hybridlint ./...
+//
+// Analyzers:
+//
+//	detclock    simulated time/randomness must flow through internal/simclock
+//	mapiter     output paths must not range over maps in randomized order
+//	statsevent  paired core.Stats counters must emit their event in the
+//	            same function (stats≡trace)
+//	ioerr       storage-layer errors and allocator results must be handled
+//
+// Findings can be suppressed with a justified directive on (or alone on
+// the line above) the offending line:
+//
+//	//hybridlint:allow <analyzer> <reason>
+//
+// hybridlint audits the directives themselves: a missing reason, an
+// unknown analyzer name, or a directive that no longer suppresses anything
+// is a finding. Exit status is 1 when any finding survives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridstore/internal/analysis"
+	"hybridstore/internal/analysis/goloader"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hybridlint [packages]\n\nRuns the hybridstore contract analyzers (detclock, mapiter, statsevent, ioerr)\nover the given go-list package patterns (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := goloader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybridlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analysis.All()) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "hybridlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

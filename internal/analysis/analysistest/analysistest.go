@@ -1,0 +1,204 @@
+// Package analysistest runs hybridlint analyzers over golden fixture
+// packages, in the style of golang.org/x/tools/go/analysis/analysistest
+// (which cannot be depended on here — the build must work offline from a
+// bare toolchain, so this is a small stdlib-only re-implementation).
+//
+// Fixtures live under testdata/src/<importpath>/ with GOPATH-style import
+// resolution: a fixture may import another fixture package by its
+// testdata-relative path, and standard-library imports resolve through the
+// toolchain's export data. Expected findings are declared with want
+// comments holding one or more double-quoted regular expressions:
+//
+//	for k := range m { // want "ranges over a map"
+//
+// A want comment standing alone on its line applies to the next line
+// (useful when the finding lands on a directive or declaration line). The
+// test fails on any unmatched expectation and on any unexpected finding.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"hybridstore/internal/analysis"
+	"hybridstore/internal/analysis/goloader"
+)
+
+// TestData returns the absolute path of the calling test's testdata root.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads the fixture package at <testdata>/src/<path>, runs the given
+// analyzers (plus the always-on allow-directive audit), and checks the
+// resulting findings against the fixture's want comments.
+func Run(t *testing.T, testdata, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg := load(t, filepath.Join(testdata, "src"), path)
+	diags := analysis.Run(pkg, analyzers)
+	checkWants(t, pkg, diags)
+}
+
+// loader caches fixture packages so cross-fixture imports type-check once.
+type loader struct {
+	t     *testing.T
+	root  string
+	fset  *token.FileSet
+	std   *goloader.ExportImporter
+	cache map[string]*analysis.Package
+}
+
+func load(t *testing.T, root, path string) *analysis.Package {
+	fset := token.NewFileSet()
+	ld := &loader{
+		t:     t,
+		root:  root,
+		fset:  fset,
+		std:   goloader.NewExportImporter(fset),
+		cache: map[string]*analysis.Package{},
+	}
+	return ld.load(path)
+}
+
+// Import resolves fixture-local packages from the testdata tree and
+// everything else from toolchain export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.root, path); dirExists(dir) {
+		return ld.load(path).Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) *analysis.Package {
+	ld.t.Helper()
+	if pkg, ok := ld.cache[path]; ok {
+		return pkg
+	}
+	dir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("fixture %s: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		ld.t.Fatalf("fixture %s: no .go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Fatalf("fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := goloader.Check(path, ld.fset, files, ld)
+	if err != nil {
+		ld.t.Fatalf("type-checking fixture %s: %v", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.cache[path] = pkg
+	return pkg
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want regexp anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// collectWants scans the fixture's comments for want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		lineHasCode := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.File, *ast.Comment, *ast.CommentGroup:
+				return true
+			}
+			lineHasCode[pkg.Fset.Position(n.Pos()).Line] = true
+			lineHasCode[pkg.Fset.Position(n.End()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if !lineHasCode[line] {
+					// Stand-alone want comment applies to the next line.
+					line++
+				}
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkWants matches findings against expectations one-to-one.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	used := make([]bool, len(diags))
+	for _, w := range wants {
+		for i, d := range diags {
+			if used[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				used[i] = true
+				w.matched = true
+				break
+			}
+		}
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !used[i] {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time functions that read or schedule
+// against the host's wall clock. Pure conversions and constants
+// (time.Duration, time.Microsecond, time.ParseDuration, ...) are fine —
+// they carry no nondeterminism.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randPackages are the stdlib generators whose streams are unspecified
+// across Go releases (and, for the global functions, shared mutable state).
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Detclock enforces the determinism contract of DESIGN.md §8: simulated
+// time and randomness flow exclusively through internal/simclock, so the
+// suite is byte-identical at any -jobs count and fault injection replays
+// from a seed. Outside internal/simclock it reports every wall-clock
+// time.* call and every use of math/rand. Legitimate host-side timing
+// (CLI progress lines in cmd/) must carry a //hybridlint:allow detclock
+// directive with a reason.
+var Detclock = &Analyzer{
+	Name: "detclock",
+	Doc:  "simulated time/randomness must flow through internal/simclock",
+	Run:  runDetclock,
+}
+
+func runDetclock(pass *Pass) {
+	if pathSegment(pass.Path, "simclock") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if randPackages[path] {
+				pass.Reportf(imp.Pos(), "import of %s: derive randomness from a simclock.RNG (Split per component) so runs replay from one seed", path)
+			}
+			if imp.Name != nil && imp.Name.Name == "." && (path == "time" || randPackages[path]) {
+				pass.Reportf(imp.Pos(), "dot import of %s hides wall-clock/global-rand uses from review", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pn.Imported().Path(); {
+			case path == "time" && wallClockFuncs[sel.Sel.Name]:
+				pass.Reportf(sel.Pos(), "time.%s reads the host clock: simulated time must come from simclock.Clock", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
+	}
+	return p
+}

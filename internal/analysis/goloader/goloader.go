@@ -1,0 +1,182 @@
+// Package goloader loads type-checked packages for hybridlint using only
+// the standard library and the go toolchain on PATH.
+//
+// It shells out to `go list -deps -export -json`, which (re)builds export
+// data for every dependency in the build cache, then parses the target
+// packages from source and type-checks them against that export data via
+// go/importer. This works fully offline — no module downloads, no
+// golang.org/x/tools — which is the constraint that shaped hybridlint's
+// in-tree analysis framework.
+package goloader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"hybridstore/internal/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// list runs `go list -deps -export -json` over patterns in dir (or the
+// current directory when dir is empty) and returns the decoded entries.
+func list(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter resolves imports from compiler export data, consulting
+// `go list` on demand for paths it has not seen yet (the harness imports
+// stdlib packages lazily this way).
+type ExportImporter struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.ImporterFrom
+}
+
+// NewExportImporter returns an importer over fset with an initially empty
+// export index.
+func NewExportImporter(fset *token.FileSet) *ExportImporter {
+	e := &ExportImporter{fset: fset, exports: map[string]string{}}
+	e.imp = importer.ForCompiler(fset, "gc", e.lookup).(types.ImporterFrom)
+	return e
+}
+
+// add records the export files of pkgs.
+func (e *ExportImporter) add(pkgs []*listedPackage) {
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// lookup opens the export data for path, listing it (with its deps) first
+// if it is not in the index yet.
+func (e *ExportImporter) lookup(path string) (io.ReadCloser, error) {
+	if _, ok := e.exports[path]; !ok {
+		pkgs, err := list("", path)
+		if err != nil {
+			return nil, err
+		}
+		e.add(pkgs)
+	}
+	file, ok := e.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer.
+func (e *ExportImporter) Import(path string) (*types.Package, error) {
+	return e.imp.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (e *ExportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return e.imp.ImportFrom(path, dir, mode)
+}
+
+// Load lists patterns, then parses and type-checks every matched (non-dep)
+// package, returning them sorted by import path.
+func Load(patterns ...string) ([]*analysis.Package, error) {
+	listed, err := list("", patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset)
+	imp.add(listed)
+
+	var out []*analysis.Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(lp.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		out = append(out, &analysis.Package{
+			Path:  lp.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Check type-checks one package's parsed files with the use/def/type maps
+// hybridlint's analyzers need.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	return pkg, info, err
+}

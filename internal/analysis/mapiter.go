@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// Mapiter protects the byte-identical-output guarantee: in rendering and
+// serialization paths, iterating a Go map directly leaks the runtime's
+// randomized order into the output. In scope are the report renderers
+// (report.go, reportjson.go in any package), the experiment suite
+// (internal/experiments) and the telemetry exposition (internal/obs).
+//
+// The one permitted shape is the collect-then-sort idiom: a range whose
+// body only appends the key to a slice (`keys = append(keys, k)`), which
+// by construction feeds a sort before anything is rendered. Everything
+// else must iterate sorted keys (see experiments.sortedKeys) or justify
+// itself with //hybridlint:allow mapiter <reason>.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "output paths must not range over maps in randomized order",
+	Run:  runMapiter,
+}
+
+// mapiterFiles are the file basenames that are in scope in any package.
+var mapiterFiles = map[string]bool{
+	"report.go":     true,
+	"reportjson.go": true,
+}
+
+func runMapiter(pass *Pass) {
+	pkgInScope := pathSegment(pass.Path, "experiments") || pathSegment(pass.Path, "obs")
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !pkgInScope && !mapiterFiles[name] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv := pass.Info.TypeOf(rs.X)
+			if tv == nil {
+				return true
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollector(rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "ranges over a map in an output path (iteration order is randomized); iterate sorted keys or collect-and-sort")
+			return true
+		})
+	}
+}
+
+// isKeyCollector reports whether the range body is exactly the sorted-keys
+// collector idiom: one statement of the form `keys = append(keys, k)`
+// where k is the range key.
+func isKeyCollector(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	arg, ok2 := call.Args[1].(*ast.Ident)
+	return ok && ok2 && src.Name == dst.Name && arg.Name == key.Name
+}

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Statsevent enforces the stats≡trace contract: every mutation of a paired
+// core.Stats counter must be accompanied, in the same function body, by an
+// emit of the event kind the counter is paired with — so a sink that sums
+// event payloads reproduces the Stats totals exactly (see
+// internal/core/events.go).
+//
+// The pairing is not hard-coded here: the analyzer reads the
+// statsEventPairs / statsUnpaired tables declared in the package that owns
+// the Stats struct, and additionally checks the tables are total — every
+// Stats field appears in exactly one of them, unpaired fields carry a
+// non-empty rationale, and neither table names a field that no longer
+// exists. Adding a counter without declaring its pairing therefore fails
+// the lint at the new field's declaration.
+var Statsevent = &Analyzer{
+	Name: "statsevent",
+	Doc:  "paired Stats counters must emit their event in the same function",
+	Run:  runStatsevent,
+}
+
+// Names of the declarations the analyzer keys on, all looked up in the
+// package that declares the Stats struct.
+const (
+	statsTypeName     = "Stats"
+	pairsTableName    = "statsEventPairs"
+	unpairedTableName = "statsUnpaired"
+)
+
+func runStatsevent(pass *Pass) {
+	statsObj, ok := pass.Types.Scope().Lookup(statsTypeName).(*types.TypeName)
+	if !ok {
+		return
+	}
+	statsStruct, ok := statsObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// The contract applies only where the event machinery lives: a package
+	// with a Stats struct but no EventKind type (e.g. internal/intersect's
+	// execution stats) has nothing to pair against.
+	if _, ok := pass.Types.Scope().Lookup("EventKind").(*types.TypeName); !ok {
+		return
+	}
+
+	pairs, pairsPos := mapLiteralEntries(pass, pairsTableName)
+	unpaired, unpairedPos := mapLiteralEntries(pass, unpairedTableName)
+	if pairs == nil {
+		pass.Reportf(statsObj.Pos(), "package declares %s but no %s table: declare the counter↔event pairing so statsevent can check it", statsTypeName, pairsTableName)
+		return
+	}
+
+	// The two tables must exactly partition the Stats fields.
+	fields := map[string]bool{}
+	for i := 0; i < statsStruct.NumFields(); i++ {
+		f := statsStruct.Field(i)
+		fields[f.Name()] = true
+		_, isPaired := pairs[f.Name()]
+		reason, isUnpaired := unpaired[f.Name()]
+		switch {
+		case isPaired && isUnpaired:
+			pass.Reportf(f.Pos(), "Stats field %s appears in both %s and %s", f.Name(), pairsTableName, unpairedTableName)
+		case !isPaired && !isUnpaired:
+			pass.Reportf(f.Pos(), "Stats field %s is not in the pairing table: add it to %s (with its event kind) or to %s (with why it has no event)", f.Name(), pairsTableName, unpairedTableName)
+		case isUnpaired && reason == "":
+			pass.Reportf(unpairedPos[f.Name()], "%s entry for %s needs a non-empty rationale", unpairedTableName, f.Name())
+		}
+	}
+	for name := range pairs {
+		if !fields[name] {
+			pass.Reportf(pairsPos[name], "%s names %s, which is not a field of %s", pairsTableName, name, statsTypeName)
+		}
+	}
+	for name := range unpaired {
+		if !fields[name] {
+			pass.Reportf(unpairedPos[name], "%s names %s, which is not a field of %s", unpairedTableName, name, statsTypeName)
+		}
+	}
+
+	// Co-location: every mutation of a paired field must share a function
+	// body with an emit of the paired event kind.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			emitted := emittedEventKinds(fn.Body)
+			for _, mut := range statsMutations(pass, statsObj, fn.Body) {
+				kind, ok := pairs[mut.field]
+				if !ok || emitted[kind] {
+					continue
+				}
+				pass.Reportf(mut.pos, "%s.%s is mutated without emitting %s in %s: pair the counter bump with its event (stats≡trace contract)", statsTypeName, mut.field, kind, fn.Name.Name)
+			}
+		}
+	}
+}
+
+// mapLiteralEntries reads a package-level `var name = map[string]T{...}`
+// composite literal, returning entry values rendered as strings (the
+// identifier name for ident values, the unquoted text for string values)
+// keyed by the unquoted entry key, plus each entry's position. Returns nil
+// when no such declaration exists.
+func mapLiteralEntries(pass *Pass, name string) (map[string]string, map[string]token.Pos) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != name || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				entries := map[string]string{}
+				positions := map[string]token.Pos{}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := stringLit(kv.Key)
+					if !ok {
+						continue
+					}
+					entries[key] = exprText(kv.Value)
+					positions[key] = kv.Pos()
+				}
+				return entries, positions
+			}
+		}
+	}
+	return nil, nil
+}
+
+// stringLit unquotes a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	return s, err == nil
+}
+
+// exprText renders a table value: identifier name or unquoted string.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.BasicLit:
+		if s, ok := stringLit(v); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// A statsMutation is one counter bump of a Stats field.
+type statsMutation struct {
+	field string
+	pos   token.Pos
+}
+
+// statsMutations finds every ++/--/op= mutation in body whose target is a
+// field selected from a value of the Stats type (possibly through nested
+// selectors and index expressions, e.g. stats.Situations.Counts[i]++,
+// which mutates field Situations).
+func statsMutations(pass *Pass, statsObj *types.TypeName, body *ast.BlockStmt) []statsMutation {
+	var out []statsMutation
+	ast.Inspect(body, func(n ast.Node) bool {
+		var target ast.Expr
+		switch st := n.(type) {
+		case *ast.IncDecStmt:
+			target = st.X
+		case *ast.AssignStmt:
+			// Compound assignment only: plain `=` is a reset/copy, not a
+			// counter bump.
+			if st.Tok == token.ASSIGN || st.Tok == token.DEFINE || len(st.Lhs) != 1 {
+				return true
+			}
+			target = st.Lhs[0]
+		default:
+			return true
+		}
+		if field, ok := statsFieldOf(pass, statsObj, target); ok {
+			out = append(out, statsMutation{field: field, pos: target.Pos()})
+		}
+		return true
+	})
+	return out
+}
+
+// statsFieldOf walks a selector/index chain and returns the name of the
+// field selected directly from the Stats struct, if any.
+func statsFieldOf(pass *Pass, statsObj *types.TypeName, e ast.Expr) (string, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			if isStatsType(pass.Info.TypeOf(v.X), statsObj) {
+				return v.Sel.Name, true
+			}
+			e = v.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// isStatsType reports whether t (or its pointee) is the Stats named type.
+func isStatsType(t types.Type, statsObj *types.TypeName) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == statsObj
+}
+
+// emittedEventKinds collects the event-kind identifiers passed as the Kind
+// of an Event literal in any emit(...) call inside body.
+func emittedEventKinds(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name != "emit" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name != "emit" {
+				return true
+			}
+		default:
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for i, elt := range lit.Elts {
+			switch v := elt.(type) {
+			case *ast.KeyValueExpr:
+				if key, ok := v.Key.(*ast.Ident); ok && key.Name == "Kind" {
+					if id, ok := v.Value.(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+			case *ast.Ident:
+				// Positional literal: Kind is the first field.
+				if i == 0 {
+					out[v.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

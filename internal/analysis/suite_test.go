@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hybridstore/internal/analysis"
+	"hybridstore/internal/analysis/analysistest"
+	"hybridstore/internal/analysis/goloader"
+)
+
+func TestDetclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), "detclock/a", analysis.Detclock)
+}
+
+func TestMapiter(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, "mapiter/experiments", analysis.Mapiter)
+	analysistest.Run(t, td, "mapiter/other", analysis.Mapiter)
+}
+
+func TestStatsevent(t *testing.T) {
+	td := analysistest.TestData(t)
+	analysistest.Run(t, td, "statsevent/core", analysis.Statsevent)
+	analysistest.Run(t, td, "statsevent/missing", analysis.Statsevent)
+}
+
+func TestIoerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), "ioerr/a", analysis.Ioerr)
+}
+
+// TestAllowDirectiveAudit proves the escape hatch polices itself: a
+// directive without a reason is a finding (and does not suppress), as are
+// unknown analyzer names and directives with nothing left to suppress.
+func TestAllowDirectiveAudit(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), "allowdir/a", analysis.Detclock)
+}
+
+// TestRepoIsClean runs the full suite over the real module, so `go test`
+// enforces the three contracts even when the CI lint job is skipped.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole module")
+	}
+	pkgs, err := goloader.Load("hybridstore/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(pkg, analysis.All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Fixture: the allow-directive audit — a directive without a reason is a
+// finding and suppresses nothing; unknown analyzer names and stale
+// directives are findings too.
+package a
+
+import "time"
+
+func missingReason() time.Time {
+	// want "directive needs an analyzer name and a reason"
+	//hybridlint:allow detclock
+	return time.Now() // want "time.Now reads the host clock"
+}
+
+func unknownAnalyzer() {
+	// want "names unknown analyzer \"frobnicate\""
+	//hybridlint:allow frobnicate the analyzer name is misspelled
+}
+
+func stale() time.Duration {
+	// want "unused hybridlint:allow directive"
+	//hybridlint:allow detclock nothing on the next line needs suppressing
+	return time.Duration(42)
+}

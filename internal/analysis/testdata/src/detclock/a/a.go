@@ -1,0 +1,26 @@
+// Fixture: detclock must flag wall-clock reads and math/rand, and honor a
+// justified allow directive.
+package a
+
+import (
+	"math/rand" // want "import of math/rand: derive randomness from a simclock.RNG"
+	"time"
+)
+
+func bad() time.Duration {
+	t0 := time.Now() // want "time.Now reads the host clock"
+	_ = rand.Int()
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+	return time.Since(t0)        // want "time.Since reads the host clock"
+}
+
+// conversionsAreFine exercises the time-package surface that carries no
+// nondeterminism and must not be flagged.
+func conversionsAreFine(us float64) time.Duration {
+	d := time.Duration(us * float64(time.Microsecond))
+	return d.Round(time.Microsecond)
+}
+
+func allowed() int64 {
+	return time.Now().UnixNano() //hybridlint:allow detclock host timestamp for a log line, never enters simulated state
+}

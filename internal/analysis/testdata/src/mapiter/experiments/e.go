@@ -1,0 +1,36 @@
+// Fixture: mapiter must flag direct map iteration in an output-path
+// package, accept the collect-then-sort idiom, and honor a justified
+// allow directive.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func renderBad(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "ranges over a map in an output path"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func renderSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func renderAllowed(w io.Writer, m map[string]int) {
+	n := 0
+	//hybridlint:allow mapiter summing is commutative, so iteration order cannot reach the output
+	for _, v := range m {
+		n += v
+	}
+	fmt.Fprintln(w, n)
+}

@@ -1,0 +1,12 @@
+// Fixture: outside the scoped packages, only files named report.go /
+// reportjson.go are in mapiter's scope — this file is not, so its map
+// range must pass.
+package other
+
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+package other
+
+import (
+	"fmt"
+	"io"
+)
+
+// renderReport lives in a file named report.go, which is in mapiter's
+// scope in any package.
+func renderReport(w io.Writer, m map[string]int) {
+	for k := range m { // want "ranges over a map in an output path"
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,69 @@
+// Fixture: statsevent must require the pairing tables to partition the
+// Stats fields, flag paired counters mutated without their event, and
+// accept properly paired mutations.
+package core
+
+type EventKind uint8
+
+const (
+	EvA EventKind = iota
+	EvB
+)
+
+type Event struct {
+	Kind  EventKind
+	Bytes int64
+}
+
+type Stats struct {
+	A int64
+	B int64
+	C int64 // want "Stats field C is not in the pairing table"
+	D int64
+}
+
+var statsEventPairs = map[string]EventKind{
+	"A":    EvA,
+	"B":    EvB,
+	"Gone": EvA, // want "statsEventPairs names Gone, which is not a field of Stats"
+}
+
+var statsUnpaired = map[string]string{
+	"D": "", // want "statsUnpaired entry for D needs a non-empty rationale"
+}
+
+type Manager struct {
+	stats  Stats
+	events func(Event)
+}
+
+func (m *Manager) emit(e Event) {
+	if m.events != nil {
+		m.events(e)
+	}
+}
+
+func (m *Manager) good(n int64) {
+	m.stats.A++
+	m.emit(Event{Kind: EvA, Bytes: n})
+}
+
+func (m *Manager) bad() {
+	m.stats.A++ // want "Stats.A is mutated without emitting EvA"
+}
+
+func (m *Manager) wrongKind(n int64) {
+	m.stats.B += n // want "Stats.B is mutated without emitting EvB"
+	m.emit(Event{Kind: EvA})
+}
+
+// unpairedIsFree mutates an exempt field with no event in sight.
+func (m *Manager) unpairedIsFree() {
+	m.stats.D++
+}
+
+// resetIsFree assigns (not bumps) the struct, which is not a counter
+// mutation.
+func (m *Manager) resetIsFree() {
+	m.stats = Stats{}
+}

@@ -1,0 +1,9 @@
+// Fixture: a package with Stats and the event machinery but no declared
+// pairing table fails at the Stats declaration.
+package missing
+
+type EventKind uint8
+
+type Stats struct { // want "no statsEventPairs table"
+	A int64
+}

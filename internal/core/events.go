@@ -86,6 +86,63 @@ type Event struct {
 	Sit   Situation
 }
 
+// statsEventPairs declares the stats≡trace pairing: every listed Stats
+// counter fires the mapped event at the moment it is bumped, so a sink
+// that sums event payloads reproduces the Stats totals exactly. The
+// statsevent analyzer (internal/analysis, run via cmd/hybridlint) reads
+// this table and fails the lint when a paired counter is mutated without
+// emitting its event in the same function — and when a new Stats field is
+// added without an entry here or in statsUnpaired. TestStatsEventTables
+// cross-checks the same totality at run time.
+var statsEventPairs = map[string]EventKind{
+	"ResultHitsMem":       EvResultHit,
+	"ResultHitsSSD":       EvResultHit,
+	"ResultMisses":        EvResultMiss,
+	"L1ResultEvictions":   EvResultEvict,
+	"L2ResultEvictions":   EvResultEvict,
+	"RBRetired":           EvResultEvict,
+	"RBFlushes":           EvResultFlush,
+	"ResultBytesToSSD":    EvResultFlush,
+	"ListBytesFromMem":    EvListRead,
+	"ListBytesFromSSD":    EvListRead,
+	"ListBytesFromHDD":    EvListRead,
+	"ListReqBytesFromHDD": EvListRead,
+	"ListBytesToSSD":      EvListFlush,
+	"ListWritesToSSD":     EvListFlush,
+	"L1ListEvictions":     EvListEvict,
+	"L2ListEvictions":     EvListEvict,
+	"SSDReadErrors":       EvIOError,
+	"SSDWriteErrors":      EvIOError,
+	"SSDTrimErrors":       EvIOError,
+	"DegradedServes":      EvDegraded,
+	"Queries":             EvQueryEnd,
+	"QueryTime":           EvQueryEnd,
+	"Situations":          EvQueryEnd,
+}
+
+// statsUnpaired lists the Stats fields that deliberately fire no event,
+// each with the reason the omission is sound. The statsevent analyzer
+// requires every Stats field to appear in exactly one of the two tables.
+var statsUnpaired = map[string]string{
+	"ResultWritesElided":     "elision means nothing moved; the probe outcome was already evented",
+	"ResultsDropped":         "terminal loss accounting; the failed flush already emitted EvIOError",
+	"ResultsRequeued":        "retry bookkeeping; the triggering failure already emitted EvIOError",
+	"ResultsExpired":         "TTL bookkeeping folded into the probe outcome (hit/miss) event",
+	"ListsExpired":           "TTL bookkeeping folded into the read-path events",
+	"ListsDiscarded":         "terminal loss accounting; the failed device call already emitted EvIOError",
+	"ListWritesElided":       "elision means nothing moved; no bytes to attribute",
+	"ListRequests":           "per-term demand folded at EndQuery; traffic is evented per level as EvListRead",
+	"ListHits":               "per-term demand folded at EndQuery; traffic is evented per level as EvListRead",
+	"ListBytesRequested":     "demand-side counter; served bytes are evented per level as EvListRead",
+	"ListBytesPrefetched":    "readahead beyond the request; the SSD write is evented as EvListFlush",
+	"ListOverwritesInPlace":  "placement detail of a flush that already emitted EvListFlush",
+	"ListPlacementWorstCase": "placement detail of a flush that already emitted EvListFlush",
+	"ListsTooLargeForL1":     "admission decision; no cache state changed",
+	"ExtentsQuarantined":     "capacity retirement; the triggering failure already emitted EvIOError",
+	"QuarantinedBytes":       "capacity retirement; the triggering failure already emitted EvIOError",
+	"BreakerTrips":           "breaker state change; each contributing failure already emitted EvIOError",
+}
+
 // SetEventSink installs a callback receiving every manager event, or removes
 // it when fn is nil. The sink is invoked synchronously on the serving path
 // under the simulation's single-threaded discipline; it must not call back

@@ -37,8 +37,8 @@ func Fig03Distributions(w io.Writer, sc Scale) error {
 		}
 	}
 	utils := make([]float64, 0, len(utilSum))
-	for t, s := range utilSum {
-		utils = append(utils, s/float64(utilN[t]))
+	for _, t := range sortedKeys(utilSum) {
+		utils = append(utils, utilSum[t]/float64(utilN[t]))
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(utils)))
 

@@ -1,0 +1,17 @@
+//go:build tools
+
+// Package tools pins the repository's lint tooling in one place.
+//
+// The build tag keeps this file out of every normal build (the module must
+// compile offline from a bare toolchain, so the dependency cannot live in
+// go.mod's require graph without a reachable module proxy). The canonical
+// version is the `version:` comment below — scripts/lint.sh and the CI
+// lint job both extract it from here, so bumping staticcheck is a
+// one-line change that local runs and CI pick up identically:
+//
+//	go install honnef.co/go/tools/cmd/staticcheck@<version>
+package tools
+
+import (
+	_ "honnef.co/go/tools/cmd/staticcheck" // version: 2023.1.7
+)
