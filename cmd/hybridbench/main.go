@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,6 +33,39 @@ func usageExit(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n\n", args...)
 	flag.Usage()
 	os.Exit(2)
+}
+
+// writeProfilePair writes one experiment's simulated-time latency profile
+// as gzipped pprof plus folded flamegraph stacks, rooted at the experiment
+// ID. Both artifacts are deterministic: same seed, same bytes, at any
+// -jobs count.
+func writeProfilePair(base, expID string, p *obs.Profile) error {
+	pbPath := base + "." + expID + ".pb.gz"
+	f, err := os.Create(pbPath)
+	if err != nil {
+		return err
+	}
+	werr := p.WritePprof(f, expID)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("profile %s: %w", pbPath, werr)
+	}
+	foldedPath := base + "." + expID + ".folded"
+	g, err := os.Create(foldedPath)
+	if err != nil {
+		return err
+	}
+	werr = p.WriteFolded(g, expID)
+	if cerr := g.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("profile %s: %w", foldedPath, werr)
+	}
+	fmt.Fprintf(os.Stderr, "wrote latency profile %s (+ %s)\n", pbPath, foldedPath)
+	return nil
 }
 
 // resolveScale maps the -scale flag to a Scale.
@@ -77,6 +111,9 @@ func main() {
 		jobsFlag  = flag.Int("jobs", runtime.NumCPU(), "max sweep points run concurrently (must be >= 1)")
 		listFlag  = flag.Bool("list", false, "list experiments and exit")
 		traceFlag = flag.String("trace", "", "write NDJSON query traces from every measured run to this file (forces -jobs 1)")
+		profFlag  = flag.String("profile", "", "write simulated-time latency profiles, one pair per experiment: <base>.<exp>.pb.gz (pprof) and <base>.<exp>.folded (flamegraph stacks)")
+		cpuFlag   = flag.String("cpuprofile", "", "write a host CPU profile of the runner to this file")
+		memFlag   = flag.String("memprofile", "", "write a host heap profile of the runner to this file at exit")
 	)
 	flag.Parse()
 
@@ -129,21 +166,73 @@ func main() {
 		}()
 	}
 
+	// Host-side profiling of the runner itself (the simulated-time profiles
+	// of -profile are a separate, deterministic artifact).
+	stopCPU := func() {}
+	if *cpuFlag != "" {
+		f, err := os.Create(*cpuFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote host CPU profile to %s\n", *cpuFlag)
+		}
+		defer stopCPU()
+	}
+
 	out := bufio.NewWriterSize(os.Stdout, 1<<16)
 	defer out.Flush()
 	suiteStart := time.Now() //hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results
 	for _, e := range targets {
 		fmt.Fprintf(out, "==== %s — %s ====\n", e.ID, e.Title)
 		start := time.Now() //hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results
+		if *profFlag != "" {
+			sc.Profile = obs.NewProfile()
+		}
 		if err := e.Run(out, sc); err != nil {
 			out.Flush()
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			stopCPU()
 			os.Exit(1)
+		}
+		if *profFlag != "" {
+			if err := writeProfilePair(*profFlag, e.ID, sc.Profile); err != nil {
+				out.Flush()
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.ID, err)
+				stopCPU()
+				os.Exit(1)
+			}
 		}
 		fmt.Fprintln(out)
 		out.Flush()
 		//hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results
 		fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *memFlag != "" {
+		f, err := os.Create(*memFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote host heap profile to %s\n", *memFlag)
 	}
 	images, builds, bytes := experiments.ArtifactStats()
 	//hybridlint:allow detclock host wall-clock progress timing on stderr; never enters simulated results

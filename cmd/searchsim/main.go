@@ -47,6 +47,7 @@ func main() {
 		traceFile    = flag.String("trace", "", "write one NDJSON trace record per query to this file")
 		metricsEvery = flag.Int("metrics-every", 0, "print a live metrics line every N queries (0 = off)")
 		jsonFile     = flag.String("json", "", "write the machine-readable JSON report to this file ('-' = stdout)")
+		profileFile  = flag.String("profile", "", "write the simulated-time latency profile as gzipped pprof to this file (plus folded stacks to <file>.folded)")
 	)
 	flag.Parse()
 
@@ -199,6 +200,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %d trace records to %s\n", observer.Tracer.Completed(), *traceFile)
+	}
+	if *profileFile != "" {
+		prof := observer.Profile()
+		f, err := os.Create(*profileFile)
+		if err == nil {
+			err = prof.WritePprof(f, "query")
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err == nil {
+			var g *os.File
+			g, err = os.Create(*profileFile + ".folded")
+			if err == nil {
+				err = prof.WriteFolded(g, "query")
+				if cerr := g.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote latency profile to %s (+ %s.folded)\n", *profileFile, *profileFile)
 	}
 	if *jsonFile != "" {
 		out := os.Stdout

@@ -229,7 +229,8 @@ func (m *Manager) Config() Config { return m.cfg }
 
 // memCost charges L1 access time for an n-byte transfer.
 func (m *Manager) memCost(n int) {
-	m.clock.Advance(m.cfg.MemAccessLatency + time.Duration(float64(n)*m.nsPerByteMem))
+	m.clock.AdvanceAttr(m.cfg.MemAccessLatency+time.Duration(float64(n)*m.nsPerByteMem),
+		simclock.CompCacheBookkeeping)
 }
 
 // pu returns the utilization rate for term t. Measured samples (the online
@@ -295,12 +296,12 @@ func (m *Manager) ssdRead(p []byte, off int64) error {
 		return err
 	}
 	m.ssdFailStreak = 0
-	start := m.clock.Now()
-	if m.ssdBusyUntil > start {
-		start = m.ssdBusyUntil
-	}
-	finish := start + lat
-	m.clock.AdvanceTo(finish)
+	// Waiting for queued background program/erase work is an erase stall;
+	// the read's own service time is flash read cost. Splitting the two
+	// advances keeps the attribution honest while landing at the same
+	// completion instant as a single AdvanceTo.
+	m.clock.AdvanceToAttr(m.ssdBusyUntil, simclock.CompSSDEraseStall)
+	finish := m.clock.AdvanceAttr(lat, simclock.CompSSDRead)
 	m.ssdBusyUntil = finish
 	return nil
 }

@@ -121,10 +121,11 @@ func (d *HDD) seekTime(distance int64) time.Duration {
 }
 
 // cost computes and accounts the service time for a request at off of n
-// bytes. The caller holds d.mu.
-func (d *HDD) cost(off int64, n int) (time.Duration, bool) {
-	lat := d.p.CommandOverhead
-	seek := false
+// bytes, split into mechanical positioning (seek + rotation) and transfer
+// (command overhead + media streaming) so the two phases can be attributed
+// separately on the clock. The caller holds d.mu.
+func (d *HDD) cost(off int64, n int) (seekLat, xferLat time.Duration, seek bool) {
+	xferLat = d.p.CommandOverhead
 	if off == d.nextSeq {
 		// Sequential continuation: the head is already in position and the
 		// target sector is passing under it; only transfer time applies.
@@ -135,12 +136,22 @@ func (d *HDD) cost(off int64, n int) (time.Duration, bool) {
 		if dist < 0 {
 			dist = -dist
 		}
-		lat += d.seekTime(dist) + d.halfRot
+		seekLat = d.seekTime(dist) + d.halfRot
 	}
-	lat += time.Duration(float64(n) * d.nsPerByte)
+	xferLat += time.Duration(float64(n) * d.nsPerByte)
 	d.headPos = off + int64(n)
 	d.nextSeq = off + int64(n)
-	return lat, seek
+	return seekLat, xferLat, seek
+}
+
+// charge advances the clock by the two cost phases under their attribution
+// labels and returns the combined service time.
+func (d *HDD) charge(seekLat, xferLat time.Duration) time.Duration {
+	if seekLat > 0 {
+		d.clock.AdvanceAttr(seekLat, simclock.CompHDDSeek)
+	}
+	d.clock.AdvanceAttr(xferLat, simclock.CompHDDTransfer)
+	return seekLat + xferLat
 }
 
 // ReadAt implements storage.Device.
@@ -151,8 +162,8 @@ func (d *HDD) ReadAt(p []byte, off int64) (time.Duration, error) {
 		return 0, err
 	}
 	d.buf.ReadAt(p, off)
-	lat, seek := d.cost(off, len(p))
-	d.clock.Advance(lat)
+	seekLat, xferLat, seek := d.cost(off, len(p))
+	lat := d.charge(seekLat, xferLat)
 	d.record(storage.OpRead, off, len(p), lat, seek)
 	return lat, nil
 }
@@ -165,8 +176,8 @@ func (d *HDD) WriteAt(p []byte, off int64) (time.Duration, error) {
 		return 0, err
 	}
 	d.buf.WriteAt(p, off)
-	lat, seek := d.cost(off, len(p))
-	d.clock.Advance(lat)
+	seekLat, xferLat, seek := d.cost(off, len(p))
+	lat := d.charge(seekLat, xferLat)
 	d.record(storage.OpWrite, off, len(p), lat, seek)
 	return lat, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"hybridstore/internal/index"
 	"hybridstore/internal/intersect"
+	"hybridstore/internal/simclock"
 	"hybridstore/internal/workload"
 )
 
@@ -141,7 +142,7 @@ func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
 		top.offer(c.doc, c.score)
 	}
 	if e.cfg.Clock != nil {
-		e.cfg.Clock.Advance(time.Duration(len(candidates)) * e.cfg.PerPostingCost)
+		e.cfg.Clock.AdvanceAttr(time.Duration(len(candidates))*e.cfg.PerPostingCost, simclock.CompCPUIntersect)
 	}
 	return &Result{QueryID: q.ID, Docs: top.ranked()}, stats, nil
 }

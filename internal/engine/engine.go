@@ -215,7 +215,7 @@ func (e *Engine) scanList(t workload.TermID, w float64, scores map[uint32]float6
 		}
 		stats.PostingsScored += int64(len(postings))
 		if e.cfg.Clock != nil {
-			e.cfg.Clock.Advance(time.Duration(len(postings)) * e.cfg.PerPostingCost)
+			e.cfg.Clock.AdvanceAttr(time.Duration(len(postings))*e.cfg.PerPostingCost, simclock.CompCPUIntersect)
 		}
 
 		// Early termination: remaining postings have TF no larger than the

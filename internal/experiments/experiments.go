@@ -51,6 +51,12 @@ type Scale struct {
 	// Attaching an observer forces serial execution (Jobs = 1): the tracer
 	// assumes one query in flight at a time.
 	Obs *obs.Observer
+	// Profile, when non-nil, accumulates per-situation latency attribution
+	// from every measured system (hybridbench -profile). Unlike Obs it does
+	// not force serial execution: each point folds into a private profile
+	// and merges commutative totals, so output is identical at any Jobs.
+	// Only the measured window is profiled (warmup is excluded).
+	Profile *obs.Profile
 	// Jobs bounds how many sweep points run concurrently (hybridbench
 	// -jobs). Values < 1 mean serial. Output is byte-identical for every
 	// Jobs value: points are independent deterministic systems and rows
@@ -150,10 +156,19 @@ func (sc Scale) system(policy core.Policy, mode hybrid.CacheMode, indexOn hybrid
 // runMeasured warms the system, resets counters, and measures. CBSLRU
 // systems are statically warmed from the query log first (§VI-C2).
 func runMeasured(sys *hybrid.System, sc Scale) (hybrid.RunStats, core.Stats, error) {
-	if sc.Obs != nil {
+	var o *obs.Observer
+	switch {
+	case sc.Obs != nil:
 		// Fork per system: every system's clock restarts at zero, so
 		// gauges/series must be private while traces share one stream.
-		sys.EnableObservability(sc.Obs.Fork())
+		o = sc.Obs.Fork()
+		sys.EnableObservability(o)
+	case sc.Profile != nil:
+		// Profiling without tracing: a private throwaway observer collects
+		// attribution (span capture off, minimal ring) and only its
+		// commutative profile totals leave the point.
+		o = obs.New(obs.Options{TraceRing: 1, SpanLimit: -1})
+		sys.EnableObservability(o)
 	}
 	if sys.Manager != nil && sys.Manager.Policy() == core.PolicyCBSLRU {
 		if _, err := sys.WarmupStatic(2 * sc.WarmQueries); err != nil {
@@ -166,9 +181,16 @@ func runMeasured(sys *hybrid.System, sc Scale) (hybrid.RunStats, core.Stats, err
 	if sys.Manager != nil {
 		sys.Manager.ResetStats()
 	}
+	if o != nil {
+		// Profile only the measured window, mirroring ResetStats.
+		o.Profile().Reset()
+	}
 	rs, err := sys.Run(sc.MeasureQueries)
 	if err != nil {
 		return rs, core.Stats{}, err
+	}
+	if sc.Profile != nil && o != nil {
+		sc.Profile.Merge(o.Profile())
 	}
 	var ms core.Stats
 	if sys.Manager != nil {

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"hybridstore/internal/obs"
+)
+
+// runWithProfile runs one experiment at jobs workers with a fresh profile
+// attached and returns the folded rendering plus the experiment output.
+func runWithProfile(t *testing.T, id string, jobs int) (string, string) {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	sc := microScale()
+	sc.Jobs = jobs
+	sc.Profile = obs.NewProfile()
+	var out bytes.Buffer
+	if err := e.Run(&out, sc); err != nil {
+		t.Fatal(err)
+	}
+	var folded bytes.Buffer
+	if err := sc.Profile.WriteFolded(&folded, id); err != nil {
+		t.Fatal(err)
+	}
+	return folded.String(), out.String()
+}
+
+// TestProfileByteIdenticalAcrossJobs: the latency profile is assembled
+// from commutative per-point totals, so -jobs 1 and -jobs 4 must render
+// byte-identical folded output (and identical experiment rows).
+func TestProfileByteIdenticalAcrossJobs(t *testing.T) {
+	for _, id := range []string{"fig14b", "fig16"} {
+		t.Run(id, func(t *testing.T) {
+			folded1, out1 := runWithProfile(t, id, 1)
+			folded4, out4 := runWithProfile(t, id, 4)
+			if folded1 != folded4 {
+				t.Fatalf("folded profile differs between -jobs 1 and -jobs 4:\n--- jobs=1\n%s\n--- jobs=4\n%s", folded1, folded4)
+			}
+			if folded1 == "" {
+				t.Fatal("profile is empty — runMeasured did not fold attribution")
+			}
+			if out1 != out4 {
+				t.Fatal("experiment rows differ between -jobs 1 and -jobs 4")
+			}
+		})
+	}
+}
+
+// TestTracedExperimentAttribution runs a fig sweep and the fault-injection
+// experiment with tracing attached and audits the attribution contract on
+// every emitted NDJSON record — the driver-level form of the
+// attribution≡elapsed guarantee, including under injected faults.
+func TestTracedExperimentAttribution(t *testing.T) {
+	for _, id := range []string{"fig14b", "faults"} {
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			sc := microScale()
+			sc.Jobs = 1
+			var ndjson bytes.Buffer
+			sc.Obs = obs.New(obs.Options{TraceOut: &ndjson})
+			if err := e.Run(io.Discard, sc); err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.Obs.Tracer.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			scan := bufio.NewScanner(&ndjson)
+			scan.Buffer(make([]byte, 1<<20), 1<<24)
+			records := 0
+			for scan.Scan() {
+				var tr obs.QueryTrace
+				if err := json.Unmarshal(scan.Bytes(), &tr); err != nil {
+					t.Fatal(err)
+				}
+				records++
+				if tr.Attrib == nil {
+					t.Fatalf("record %d lacks attribution", records)
+				}
+				if got := tr.Attrib.Sum(); got != tr.ElapsedNS {
+					t.Fatalf("record %d: attribution %dns != elapsed %dns", records, got, tr.ElapsedNS)
+				}
+			}
+			if err := scan.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if records == 0 {
+				t.Fatal("experiment emitted no trace records")
+			}
+		})
+	}
+}

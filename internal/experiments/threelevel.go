@@ -10,6 +10,7 @@ import (
 	"hybridstore/internal/engine"
 	"hybridstore/internal/intersect"
 	"hybridstore/internal/metrics"
+	"hybridstore/internal/simclock"
 )
 
 // ThreeLevel implements the paper's second future-work item (§VIII): a
@@ -32,7 +33,7 @@ func ThreeLevel(w io.Writer, sc Scale) error {
 		var icache *intersect.Cache
 		if icacheBytes > 0 {
 			icache = intersect.New(icacheBytes, func(n int) {
-				sys.Clock.Advance(100*time.Nanosecond + time.Duration(n)/10)
+				sys.Clock.AdvanceAttr(100*time.Nanosecond+time.Duration(n)/10, simclock.CompCPUIntersect)
 			})
 		}
 		engCfg := sc.engineConfig()

@@ -208,7 +208,7 @@ func (d *SSD) ReadAt(p []byte, off int64) (time.Duration, error) {
 		remaining = remaining[n:]
 		pos += n
 	}
-	d.clock.Advance(lat)
+	d.clock.AdvanceAttr(lat, simclock.CompSSDRead)
 	d.stats.Record(storage.OpRead, len(p), lat)
 	d.emit(storage.Op{Device: d.name, Kind: storage.OpRead, Offset: off, Len: len(p), Latency: lat})
 	return lat, nil
@@ -255,7 +255,7 @@ func (d *SSD) WriteAt(p []byte, off int64) (time.Duration, error) {
 		remaining = remaining[n:]
 		pos += n
 	}
-	d.clock.Advance(lat)
+	d.clock.AdvanceAttr(lat, simclock.CompSSDProgram)
 	d.stats.Record(storage.OpWrite, len(p), lat)
 	d.emit(storage.Op{Device: d.name, Kind: storage.OpWrite, Offset: off, Len: len(p), Latency: lat})
 	return lat, nil
@@ -427,7 +427,7 @@ func (d *SSD) Trim(off, n int64) (time.Duration, error) {
 	// Command processing cost for the trim itself is negligible next to
 	// page operations; charge a fixed 10 µs like real NCQ trim commands.
 	lat += 10 * time.Microsecond
-	d.clock.Advance(lat)
+	d.clock.AdvanceAttr(lat, simclock.CompSSDProgram)
 	d.stats.Record(storage.OpTrim, int(n), lat)
 	d.emit(storage.Op{Device: d.name, Kind: storage.OpTrim, Offset: off, Len: int(n), Latency: lat})
 	return lat, nil

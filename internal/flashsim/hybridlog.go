@@ -139,7 +139,7 @@ func (d *HybridSSD) ReadAt(p []byte, off int64) (time.Duration, error) {
 		remaining = remaining[n:]
 		pos += n
 	}
-	d.clock.Advance(lat)
+	d.clock.AdvanceAttr(lat, simclock.CompSSDRead)
 	d.stats.Record(storage.OpRead, len(p), lat)
 	d.emit(storage.Op{Device: d.name, Kind: storage.OpRead, Offset: off, Len: len(p), Latency: lat})
 	return lat, nil
@@ -178,7 +178,7 @@ func (d *HybridSSD) WriteAt(p []byte, off int64) (time.Duration, error) {
 		remaining = remaining[n:]
 		pos += n
 	}
-	d.clock.Advance(lat)
+	d.clock.AdvanceAttr(lat, simclock.CompSSDProgram)
 	d.stats.Record(storage.OpWrite, len(p), lat)
 	d.emit(storage.Op{Device: d.name, Kind: storage.OpWrite, Offset: off, Len: len(p), Latency: lat})
 	return lat, nil
@@ -348,7 +348,7 @@ func (d *HybridSSD) Trim(off, n int64) (time.Duration, error) {
 		pos += span
 	}
 	lat := 10 * time.Microsecond
-	d.clock.Advance(lat)
+	d.clock.AdvanceAttr(lat, simclock.CompSSDProgram)
 	d.stats.Record(storage.OpTrim, int(n), lat)
 	d.emit(storage.Op{Device: d.name, Kind: storage.OpTrim, Offset: off, Len: int(n), Latency: lat})
 	return lat, nil

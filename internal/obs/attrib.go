@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"hybridstore/internal/simclock"
+)
+
+// Attrib partitions a span of simulated time across the attribution
+// components, in nanoseconds. Index by simclock.Component. The per-query
+// contract is Sum() == QueryTrace.ElapsedNS: the deltas are collected at
+// the clock itself, so every advanced nanosecond lands in exactly one slot.
+type Attrib [simclock.NumComponents]int64
+
+// Add accumulates d into component c.
+func (a *Attrib) Add(c simclock.Component, d time.Duration) {
+	if c >= simclock.NumComponents {
+		c = simclock.CompOther
+	}
+	a[c] += int64(d)
+}
+
+// Merge adds every component of b into a.
+func (a *Attrib) Merge(b Attrib) {
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Sum returns the total nanoseconds across all components.
+func (a Attrib) Sum() int64 {
+	var s int64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// MarshalJSON renders the non-zero components as an object keyed by the
+// stable component names, in canonical enum order.
+func (a Attrib) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	first := true
+	for i, v := range a {
+		if v == 0 {
+			continue
+		}
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&buf, "%q:%d", simclock.Component(i).String(), v)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON parses the object form written by MarshalJSON. Unknown
+// component names are folded into "other" so newer traces stay readable.
+func (a *Attrib) UnmarshalJSON(data []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	*a = Attrib{}
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c, ok := simclock.ComponentByName(name)
+		if !ok {
+			c = simclock.CompOther
+		}
+		a[c] += m[name]
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"hybridstore/internal/core"
 	"hybridstore/internal/metrics"
+	"hybridstore/internal/simclock"
 	"hybridstore/internal/storage"
 )
 
@@ -41,7 +42,8 @@ type Options struct {
 	TraceRing int
 	// TraceOut, when non-nil, receives every completed trace as NDJSON.
 	TraceOut io.Writer
-	// SpanLimit caps per-trace span lists (0 = DefaultSpanLimit).
+	// SpanLimit caps per-trace span lists (0 = DefaultSpanLimit; negative
+	// disables span capture, keeping only aggregate fields and attribution).
 	SpanLimit int
 	// SampleEvery checkpoints every gauge into its time series after this
 	// many queries (0 = 1000).
@@ -55,8 +57,9 @@ type Observer struct {
 	Tracer   *Tracer
 	Registry *Registry
 
-	latAll *metrics.Histogram
-	latSit [numSituations + 1]*metrics.Histogram
+	latAll  *metrics.Histogram
+	latSit  [numSituations + 1]*metrics.Histogram
+	profile *Profile
 
 	mu          sync.Mutex
 	queries     int64
@@ -72,6 +75,7 @@ func New(opts Options) *Observer {
 	o := &Observer{
 		Tracer:      NewTracer(opts.TraceRing),
 		Registry:    NewRegistry(),
+		profile:     NewProfile(),
 		sampleEvery: int64(opts.SampleEvery),
 	}
 	if o.sampleEvery <= 0 {
@@ -98,6 +102,7 @@ func (o *Observer) Fork() *Observer {
 	f := &Observer{
 		Tracer:      o.Tracer,
 		Registry:    NewRegistry(),
+		profile:     NewProfile(),
 		sampleEvery: o.sampleEvery,
 	}
 	f.initHistograms()
@@ -167,6 +172,18 @@ func (o *Observer) HandleEvent(e core.Event) {
 	}
 }
 
+// HandleClockAdvance consumes one labeled clock advance (wired to
+// simclock.Clock.OnAdvance), attributing the time to the in-flight query.
+// Seeing every advance at the clock itself is what makes per-query
+// attribution sum exactly to elapsed time.
+func (o *Observer) HandleClockAdvance(c simclock.Component, d time.Duration) {
+	o.Tracer.AddTime(c, d)
+}
+
+// Profile returns the cumulative per-situation latency-attribution profile
+// folded from completed traces.
+func (o *Observer) Profile() *Profile { return o.profile }
+
 // HandleBackingOp consumes one backing-store (index device) operation,
 // attributing seeks to the in-flight query.
 func (o *Observer) HandleBackingOp(op storage.Op) {
@@ -196,6 +213,13 @@ func (o *Observer) HandleCacheOp(op storage.Op) {
 // SampleEvery queries the gauges are checkpointed at simulated time now.
 func (o *Observer) EndQuery(now, elapsed time.Duration) QueryTrace {
 	tr := o.Tracer.End(elapsed)
+	if tr.Attrib != nil {
+		sit := tr.Situation
+		if sit == "" {
+			sit = "uncached"
+		}
+		o.profile.Add(sit, tr.ElapsedNS, *tr.Attrib)
+	}
 
 	o.mu.Lock()
 	slot := numSituations

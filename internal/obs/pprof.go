@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+
+	"hybridstore/internal/simclock"
+)
+
+// This file emits pprof's profile.proto with a minimal hand-rolled
+// protobuf writer, so `go tool pprof` can consume simulated-time profiles
+// without the reproduction taking on a protobuf dependency. Only the
+// fields pprof requires are written:
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table, 10 duration_nanos,
+//	          11 period_type (ValueType), 12 period
+//	ValueType: 1 type (string idx), 2 unit (string idx)
+//	Sample:    1 location_id (packed, leaf first), 2 value (packed)
+//	Location:  1 id, 4 line (Line)
+//	Line:      1 function_id
+//	Function:  1 id, 2 name (string idx)
+//
+// time_nanos is deliberately omitted (and gzip carries a zero mod time):
+// the encoder has no access to wall-clock time and two runs of the same
+// seed produce byte-identical profiles.
+
+// protoBuf accumulates protobuf wire-format bytes.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) uvarint(x uint64) {
+	for x >= 0x80 {
+		p.b = append(p.b, byte(x)|0x80)
+		x >>= 7
+	}
+	p.b = append(p.b, byte(x))
+}
+
+// varintField writes field n with wire type 0 (varint).
+func (p *protoBuf) varintField(n int, x uint64) {
+	p.uvarint(uint64(n)<<3 | 0)
+	p.uvarint(x)
+}
+
+// bytesField writes field n with wire type 2 (length-delimited).
+func (p *protoBuf) bytesField(n int, b []byte) {
+	p.uvarint(uint64(n)<<3 | 2)
+	p.uvarint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(n int, s string) { p.bytesField(n, []byte(s)) }
+
+// packedField writes field n as a packed repeated varint.
+func (p *protoBuf) packedField(n int, xs []uint64) {
+	var inner protoBuf
+	for _, x := range xs {
+		inner.uvarint(x)
+	}
+	p.bytesField(n, inner.b)
+}
+
+// valueType encodes a ValueType{type, unit} message.
+func valueType(typeIdx, unitIdx uint64) []byte {
+	var vt protoBuf
+	vt.varintField(1, typeIdx)
+	vt.varintField(2, unitIdx)
+	return vt.b
+}
+
+// writePprof encodes rows as a gzipped pprof profile. Stacks are
+// root;situation;component with the component as the leaf frame; sample
+// values are simulated nanoseconds.
+func writePprof(w io.Writer, root string, rows []ProfileRow) error {
+	// String table: index 0 must be the empty string. Frame names are
+	// interned in first-use order, which is deterministic because rows are
+	// sorted and components enumerate in canonical order.
+	strings := []string{""}
+	strIdx := map[string]uint64{"": 0}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strings))
+		strings = append(strings, s)
+		strIdx[s] = i
+		return i
+	}
+
+	// One function + one location per unique frame name; ids start at 1.
+	var funcs, locs protoBuf
+	locIdx := map[string]uint64{}
+	location := func(name string) uint64 {
+		if id, ok := locIdx[name]; ok {
+			return id
+		}
+		id := uint64(len(locIdx) + 1)
+		locIdx[name] = id
+
+		var fn protoBuf
+		fn.varintField(1, id)
+		fn.varintField(2, intern(name))
+		funcs.bytesField(5, fn.b)
+
+		var line protoBuf
+		line.varintField(1, id)
+		var loc protoBuf
+		loc.varintField(1, id)
+		loc.bytesField(4, line.b)
+		locs.bytesField(4, loc.b)
+		return id
+	}
+
+	simtime := intern("simtime")
+	nanos := intern("nanoseconds")
+
+	var out protoBuf
+	out.bytesField(1, valueType(simtime, nanos))
+
+	var totalNS int64
+	rootID := location(root)
+	for _, row := range rows {
+		sitID := location(row.Situation)
+		for c, v := range row.Attrib {
+			if v == 0 {
+				continue
+			}
+			compID := location(simclock.Component(c).String())
+			var sample protoBuf
+			sample.packedField(1, []uint64{compID, sitID, rootID})
+			sample.packedField(2, []uint64{uint64(v)})
+			out.bytesField(2, sample.b)
+			totalNS += v
+		}
+	}
+
+	out.b = append(out.b, locs.b...)
+	out.b = append(out.b, funcs.b...)
+	for _, s := range strings {
+		out.stringField(6, s)
+	}
+	out.varintField(10, uint64(totalNS))
+	out.bytesField(11, valueType(simtime, nanos))
+	out.varintField(12, 1)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		return err
+	}
+	return gz.Close()
+}

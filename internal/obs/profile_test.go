@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridstore/internal/simclock"
+)
+
+func sampleAttrib(seek, cpu time.Duration) Attrib {
+	var a Attrib
+	a.Add(simclock.CompHDDSeek, seek)
+	a.Add(simclock.CompCPUIntersect, cpu)
+	return a
+}
+
+func TestProfileMergeOrderIndependent(t *testing.T) {
+	mk := func(order []int) *Profile {
+		shards := []*Profile{NewProfile(), NewProfile()}
+		shards[0].Add("S9(I:hdd)", 5_000_000, sampleAttrib(4*time.Millisecond, time.Millisecond))
+		shards[0].Add("S3(I:mem)", 1000, sampleAttrib(0, 1000))
+		shards[1].Add("S9(I:hdd)", 7_000_000, sampleAttrib(6*time.Millisecond, time.Millisecond))
+		total := NewProfile()
+		for _, i := range order {
+			total.Merge(shards[i])
+		}
+		return total
+	}
+	var a, b bytes.Buffer
+	if err := mk([]int{0, 1}).WriteFolded(&a, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk([]int{1, 0}).WriteFolded(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merge order changed output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	want := "x;S3(I:mem);cpu_intersect 1000\n" +
+		"x;S9(I:hdd);hdd_seek 10000000\n" +
+		"x;S9(I:hdd);cpu_intersect 2000000\n"
+	if a.String() != want {
+		t.Fatalf("folded output:\n%s\nwant:\n%s", a.String(), want)
+	}
+}
+
+func TestProfileTotalsAndReset(t *testing.T) {
+	p := NewProfile()
+	p.Add("S1(R:mem)", 100, sampleAttrib(0, 100))
+	p.Add("S1(R:mem)", 50, sampleAttrib(0, 50))
+	q, e, a := p.Totals()
+	if q != 2 || e != 150 || a.Sum() != 150 {
+		t.Fatalf("totals = %d/%d/%d", q, e, a.Sum())
+	}
+	p.Reset()
+	if rows := p.Rows(); len(rows) != 0 {
+		t.Fatalf("rows after reset: %d", len(rows))
+	}
+}
+
+// TestWritePprofDeterministicAndGzipped: two renders are byte-identical
+// and the payload is a gzip stream containing the sample-type strings.
+func TestWritePprofDeterministicAndGzipped(t *testing.T) {
+	p := NewProfile()
+	p.Add("S9(I:hdd)", 5_000_000, sampleAttrib(4*time.Millisecond, time.Millisecond))
+	p.Add("uncached", 700, sampleAttrib(0, 700))
+
+	var a, b bytes.Buffer
+	if err := p.WritePprof(&a, "query"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePprof(&b, "query"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("pprof output is not deterministic")
+	}
+
+	zr, err := gzip.NewReader(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"simtime", "nanoseconds", "query", "S9(I:hdd)", "hdd_seek", "uncached"} {
+		if !bytes.Contains(raw, []byte(s)) {
+			t.Fatalf("decoded profile lacks string %q", s)
+		}
+	}
+}
+
+// TestPprofParsesWithGoTool shells out to `go tool pprof -raw`, the same
+// validation CI runs; skipped when the go tool is unavailable.
+func TestPprofParsesWithGoTool(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	p := NewProfile()
+	p.Add("S9(I:hdd)", 5_000_000, sampleAttrib(4*time.Millisecond, time.Millisecond))
+	path := filepath.Join(t.TempDir(), "sim.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePprof(f, "query"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(goBin, "tool", "pprof", "-raw", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -raw failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"simtime nanoseconds", "hdd_seek", "S9(I:hdd)", "query"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("pprof -raw output lacks %q:\n%s", want, text)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"hybridstore/internal/simclock"
 )
 
 // Span is one attributed step inside a query trace: a list read served by
@@ -28,6 +30,12 @@ type Span struct {
 	Level string `json:"level,omitempty"`
 	// Bytes is the payload size of the step.
 	Bytes int64 `json:"bytes,omitempty"`
+	// StartNS is the span's offset from the query start in simulated
+	// nanoseconds. Spans tile the query: each one absorbs the simulated
+	// time accrued since the previous span was recorded.
+	StartNS int64 `json:"start_ns,omitempty"`
+	// DurNS is the simulated time attributed to this span in nanoseconds.
+	DurNS int64 `json:"dur_ns,omitempty"`
 }
 
 // QueryTrace is the record of one query through the hierarchy. All times
@@ -63,7 +71,18 @@ type QueryTrace struct {
 	// them paid mechanical positioning cost.
 	HDDReads int `json:"hdd_reads,omitempty"`
 	HDDSeeks int `json:"hdd_seeks,omitempty"`
+	// ElapsedNS is the simulated response time in nanoseconds (ElapsedUS
+	// is kept for readability; this field carries full precision so the
+	// attribution contract below is exact).
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+	// Attrib partitions ElapsedNS across the attribution components.
+	// Present only when the system's clock feeds the tracer (see
+	// Tracer.AddTime); when present, Attrib.Sum() == ElapsedNS.
+	Attrib *Attrib `json:"attrib,omitempty"`
 	// Spans is the ordered step list, capped at the tracer's span limit.
+	// When the cap truncates the list, a final synthetic span of kind
+	// "truncated" carries the residual time so span durations still sum
+	// to ElapsedNS.
 	Spans []Span `json:"spans,omitempty"`
 	// SpansDropped counts spans discarded past the cap.
 	SpansDropped int `json:"spans_dropped,omitempty"`
@@ -80,6 +99,12 @@ type Tracer struct {
 
 	cur       *QueryTrace
 	spanLimit int
+	// pendNS is simulated time accrued (via AddTime) since the last
+	// recorded span; boundNS is the query-relative offset the recorded
+	// spans tile up to. Together they give spans start/duration without
+	// the event emitters knowing about time at all.
+	pendNS  int64
+	boundNS int64
 
 	enc     *json.Encoder
 	sinkErr error
@@ -98,8 +123,8 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{ring: make([]QueryTrace, 0, capacity), spanLimit: DefaultSpanLimit}
 }
 
-// SetSpanLimit overrides the per-trace span cap (0 disables span capture
-// entirely, keeping only the aggregate fields).
+// SetSpanLimit overrides the per-trace span cap (n <= 0 disables span
+// capture entirely, keeping only the aggregate fields).
 func (t *Tracer) SetSpanLimit(n int) {
 	t.mu.Lock()
 	t.spanLimit = n
@@ -126,7 +151,25 @@ func (t *Tracer) Err() error {
 func (t *Tracer) Begin(qid uint64, at time.Duration) {
 	t.mu.Lock()
 	t.cur = &QueryTrace{QID: qid, StartUS: at.Microseconds()}
+	t.pendNS, t.boundNS = 0, 0
 	t.mu.Unlock()
+}
+
+// AddTime attributes d of simulated time to component c on the current
+// trace. Wired to simclock.Clock.OnAdvance, it sees every clock advance
+// between Begin and End, which is what makes the per-query attribution sum
+// exactly to the elapsed time. No-op when no trace is open.
+func (t *Tracer) AddTime(c simclock.Component, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	if t.cur.Attrib == nil {
+		t.cur.Attrib = new(Attrib)
+	}
+	t.cur.Attrib.Add(c, d)
+	t.pendNS += int64(d)
 }
 
 // Active reports whether a trace is currently open.
@@ -136,13 +179,20 @@ func (t *Tracer) Active() bool {
 	return t.cur != nil
 }
 
-// addSpan appends a span to the current trace under the span cap.
-// The caller holds t.mu.
+// addSpan appends a span to the current trace under the span cap. A
+// recorded span absorbs the simulated time accrued since the previous
+// span; time accrued while spans are being dropped keeps accumulating and
+// is swept into the synthetic "truncated" span at End. The caller holds
+// t.mu.
 func (t *Tracer) addSpan(s Span) {
 	if t.cur == nil {
 		return
 	}
 	if t.spanLimit > 0 && len(t.cur.Spans) < t.spanLimit {
+		s.StartNS = t.boundNS
+		s.DurNS = t.pendNS
+		t.boundNS += t.pendNS
+		t.pendNS = 0
 		t.cur.Spans = append(t.cur.Spans, s)
 	} else {
 		t.cur.SpansDropped++
@@ -238,6 +288,14 @@ func (t *Tracer) End(elapsed time.Duration) QueryTrace {
 	tr := *t.cur
 	t.cur = nil
 	tr.ElapsedUS = elapsed.Microseconds()
+	tr.ElapsedNS = elapsed.Nanoseconds()
+	if t.spanLimit > 0 && tr.SpansDropped > 0 && tr.ElapsedNS > t.boundNS {
+		// The cap truncated the span list; a synthetic span carries the
+		// residual so span durations still tile the whole query.
+		tr.Spans = append(tr.Spans, Span{
+			Kind: "truncated", StartNS: t.boundNS, DurNS: tr.ElapsedNS - t.boundNS,
+		})
+	}
 	tr.Seq = t.seq
 	t.seq++
 

@@ -20,8 +20,9 @@ import (
 // concurrent use; simulated components typically share one clock so that
 // device latencies and think time accumulate on a single time line.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	mu        sync.Mutex
+	now       time.Duration
+	onAdvance func(Component, time.Duration)
 }
 
 // New returns a clock positioned at t=0.
@@ -34,29 +35,67 @@ func (c *Clock) Now() time.Duration {
 	return c.now
 }
 
+// OnAdvance installs a hook invoked after every advance that actually moved
+// time, with the component label and the delta. Because every path that
+// moves simulated time funnels through here, an observer summing the deltas
+// between two Now() reads reconstructs the elapsed interval exactly. Pass
+// nil to remove the hook.
+func (c *Clock) OnAdvance(fn func(Component, time.Duration)) {
+	c.mu.Lock()
+	c.onAdvance = fn
+	c.mu.Unlock()
+}
+
 // Advance moves simulated time forward by d and returns the new time.
 // Advance panics if d is negative: simulated time never runs backwards.
+// The time is attributed to CompOther; components that know what the time
+// was spent on use AdvanceAttr.
 func (c *Clock) Advance(d time.Duration) time.Duration {
+	return c.AdvanceAttr(d, CompOther)
+}
+
+// AdvanceAttr moves simulated time forward by d, attributing the time to
+// component comp, and returns the new time. It panics if d is negative.
+func (c *Clock) AdvanceAttr(d time.Duration, comp Component) time.Duration {
 	if d < 0 {
 		panic(fmt.Sprintf("simclock: negative advance %v", d))
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.now += d
-	return c.now
+	now := c.now
+	hook := c.onAdvance
+	c.mu.Unlock()
+	if hook != nil && d > 0 {
+		hook(comp, d)
+	}
+	return now
 }
 
 // AdvanceTo moves simulated time forward to t if t is later than the current
 // time; otherwise it leaves the clock unchanged. It returns the resulting
 // time. This is the idiom for components that compute an absolute completion
 // time (for example a rotating disk whose platter position is periodic).
+// The time is attributed to CompOther.
 func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	return c.AdvanceToAttr(t, CompOther)
+}
+
+// AdvanceToAttr moves simulated time forward to t if t is later than the
+// current time, attributing the covered interval to component comp, and
+// returns the resulting time.
+func (c *Clock) AdvanceToAttr(t time.Duration, comp Component) time.Duration {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
+	d := t - c.now
+	if d > 0 {
 		c.now = t
 	}
-	return c.now
+	now := c.now
+	hook := c.onAdvance
+	c.mu.Unlock()
+	if hook != nil && d > 0 {
+		hook(comp, d)
+	}
+	return now
 }
 
 // Reset rewinds the clock to t=0. It is intended for reusing simulation

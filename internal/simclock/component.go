@@ -1,0 +1,68 @@
+package simclock
+
+// Component labels where a slice of simulated time is spent. Every clock
+// advance carries one; unlabeled advances fall into CompOther. The taxonomy
+// partitions a query's elapsed time for latency attribution: because the
+// labels are applied at the clock itself, the per-component sums are equal
+// to elapsed time by construction, not by reconciliation.
+type Component uint8
+
+// The attribution components, in canonical rendering order.
+const (
+	// CompOther is time not claimed by any specific component (RAM device
+	// transfers, unlabeled fixture advances).
+	CompOther Component = iota
+	// CompHDDSeek is mechanical positioning: head travel plus rotational
+	// latency on the backing drive.
+	CompHDDSeek
+	// CompHDDTransfer is HDD command overhead plus media transfer.
+	CompHDDTransfer
+	// CompSSDRead is flash read service time (cache or index SSD).
+	CompSSDRead
+	// CompSSDProgram is flash program/trim service time.
+	CompSSDProgram
+	// CompSSDEraseStall is foreground time spent waiting for the cache SSD
+	// to drain background program/erase work before a read can start.
+	CompSSDEraseStall
+	// CompCPUIntersect is engine CPU cost: postings decode and list
+	// intersection.
+	CompCPUIntersect
+	// CompCacheBookkeeping is cache-manager L1 access cost (memory probes
+	// and transfers).
+	CompCacheBookkeeping
+
+	// NumComponents bounds arrays indexed by Component.
+	NumComponents
+)
+
+// componentNames are the stable wire names used in traces, profiles and
+// reports. Index by Component.
+var componentNames = [NumComponents]string{
+	"other",
+	"hdd_seek",
+	"hdd_transfer",
+	"ssd_read",
+	"ssd_program",
+	"ssd_erase_stall",
+	"cpu_intersect",
+	"cache_bookkeeping",
+}
+
+// String returns the component's stable wire name.
+func (c Component) String() string {
+	if c < NumComponents {
+		return componentNames[c]
+	}
+	return "other"
+}
+
+// ComponentByName maps a wire name back to its Component; ok is false for
+// unknown names.
+func ComponentByName(name string) (Component, bool) {
+	for i, n := range componentNames {
+		if n == name {
+			return Component(i), true
+		}
+	}
+	return CompOther, false
+}

@@ -12,6 +12,11 @@ import (
 // trace per query.
 func (s *System) EnableObservability(o *obs.Observer) {
 	s.obs = o
+	// Label every advance of the shared clock onto the in-flight trace;
+	// this is what makes per-query latency attribution sum exactly to the
+	// elapsed time. RestartWarm keeps the same clock, so the hook survives
+	// a warm restart.
+	s.Clock.OnAdvance(o.HandleClockAdvance)
 	if s.Manager != nil {
 		s.Manager.SetEventSink(o.HandleEvent)
 	}

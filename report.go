@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"hybridstore/internal/simclock"
 	"hybridstore/internal/storage"
 )
 
@@ -51,6 +52,21 @@ func (s *System) Report() string {
 		if lat.Count > 0 {
 			fmt.Fprintf(&sb, "latency (all queries): n=%d mean=%v p50=%v p95=%v p99=%v\n",
 				lat.Count, usDur(lat.Mean), usDur(lat.P50), usDur(lat.P95), usDur(lat.P99))
+		}
+		if rows := s.obs.Profile().Rows(); len(rows) > 0 {
+			sb.WriteString("latency attribution:\n")
+			for _, row := range rows {
+				fmt.Fprintf(&sb, "  %-18s n=%d total=%v", row.Situation, row.Queries,
+					time.Duration(row.ElapsedNS).Round(time.Microsecond))
+				for c, v := range row.Attrib {
+					if v == 0 {
+						continue
+					}
+					fmt.Fprintf(&sb, " %s=%.1f%%", simclock.Component(c),
+						100*float64(v)/float64(row.ElapsedNS))
+				}
+				sb.WriteByte('\n')
+			}
 		}
 	}
 

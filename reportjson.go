@@ -66,6 +66,18 @@ type FaultReport struct {
 	DegradedServes     int64 `json:"degraded_serves"`
 }
 
+// AttribReport is one row of the per-situation latency-attribution table:
+// where the situation's total simulated time went, by component.
+type AttribReport struct {
+	Situation string `json:"situation"`
+	Queries   int64  `json:"queries"`
+	// TotalNS is the situation's summed elapsed time; Components partitions
+	// it (component sums equal TotalNS exactly).
+	TotalNS    int64      `json:"total_ns"`
+	Share      float64    `json:"share"` // fraction of all-situations total
+	Components obs.Attrib `json:"components"`
+}
+
 // HitRatioReport carries the Fig 14 ratios.
 type HitRatioReport struct {
 	RC  float64 `json:"rc"`
@@ -95,6 +107,9 @@ type JSONReport struct {
 	Wear       map[string]WearReport `json:"wear,omitempty"`
 	Registry   *obs.RegistrySnapshot `json:"registry,omitempty"`
 	Traces     int64                 `json:"traces,omitempty"`
+	// Attribution is the per-situation latency breakdown, present when
+	// observability is enabled and at least one query was attributed.
+	Attribution []AttribReport `json:"attribution,omitempty"`
 }
 
 // jsonReportSchemaVersion bumps when the report layout changes shape.
@@ -202,6 +217,23 @@ func (s *System) BuildReport() *JSONReport {
 		snap := s.obs.Registry.Snapshot()
 		r.Registry = &snap
 		r.Traces = s.obs.Tracer.Completed()
+		rows := s.obs.Profile().Rows()
+		var grand int64
+		for _, row := range rows {
+			grand += row.ElapsedNS
+		}
+		for _, row := range rows {
+			ar := AttribReport{
+				Situation:  row.Situation,
+				Queries:    row.Queries,
+				TotalNS:    row.ElapsedNS,
+				Components: row.Attrib,
+			}
+			if grand > 0 {
+				ar.Share = float64(row.ElapsedNS) / float64(grand)
+			}
+			r.Attribution = append(r.Attribution, ar)
+		}
 		if s.Manager == nil {
 			r.Queries = s.obs.Queries()
 			lat := s.obs.OverallLatency()

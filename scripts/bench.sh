@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# bench.sh — PR 2 benchmark harness.
+# bench.sh — per-PR benchmark harness.
 #
 # Times the full experiment suite serially (-jobs 1) and on all CPUs
 # (-jobs $(nproc)), verifies the two stdout streams are byte-identical,
 # runs the tier-1 engine/index micro-benchmarks with -benchmem, and writes
-# the whole record to BENCH_pr2.json.
+# the whole record to BENCH_pr${PR}.json, extending the perf trajectory
+# (BENCH_pr2.json was the first point).
 #
 # Environment:
+#   PR       PR number stamped into the record (default: 6)
 #   SCALE    suite scale to time (default: small; full takes much longer)
 #   JOBS     parallel job count (default: nproc)
-#   OUT      output JSON path (default: BENCH_pr2.json in the repo root)
+#   OUT      output JSON path (default: BENCH_pr${PR}.json in the repo root)
 #   BASELINE_ENGINE_NS / _ALLOCS, BASELINE_E2E_NS / _ALLOCS,
 #   BASELINE_BUILD_NS / _ALLOCS, BASELINE_SUITE_S
 #            optional pre-change numbers to embed for before/after deltas
@@ -17,9 +19,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+PR="${PR:-6}"
 SCALE="${SCALE:-small}"
 JOBS="${JOBS:-$(nproc)}"
-OUT="${OUT:-BENCH_pr2.json}"
+OUT="${OUT:-BENCH_pr${PR}.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -84,7 +87,7 @@ baseline_json() { # baseline_json <ns_var> <allocs_var>
 
 cat >"$OUT" <<EOF
 {
-  "pr": 2,
+  "pr": $PR,
   "host": {
     "cpus": $(nproc),
     "go": "$(go env GOVERSION)"
