@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"hybridstore/internal/experiments"
+	"hybridstore/internal/index"
 	"hybridstore/internal/obs"
 )
 
@@ -108,6 +109,7 @@ func main() {
 	var (
 		expFlag   = flag.String("exp", "all", "experiment ID to run (see -list), comma-separated list, or 'all'")
 		scaleFlag = flag.String("scale", "full", "workload scale: 'full' or 'small'")
+		codecFlag = flag.String("codec", "raw", "on-device posting codec: 'raw' or 'gvarint'")
 		jobsFlag  = flag.Int("jobs", runtime.NumCPU(), "max sweep points run concurrently (must be >= 1)")
 		listFlag  = flag.Bool("list", false, "list experiments and exit")
 		traceFlag = flag.String("trace", "", "write NDJSON query traces from every measured run to this file (forces -jobs 1)")
@@ -135,6 +137,11 @@ func main() {
 		usageExit("%v", err)
 	}
 	sc.Jobs = *jobsFlag
+	codec, err := index.ParseCodec(*codecFlag)
+	if err != nil {
+		usageExit("%v", err)
+	}
+	sc.Codec = codec
 
 	targets, err := resolveTargets(*expFlag)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	hybrid "hybridstore"
 	"hybridstore/internal/core"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/index"
 	"hybridstore/internal/obs"
 	"hybridstore/internal/workload"
 )
@@ -39,6 +40,7 @@ func main() {
 		policyFlag   = flag.String("policy", "cbslru", "cache policy: lru, cblru, cbslru")
 		modeFlag     = flag.String("mode", "twolevel", "cache mode: none, onelevel, twolevel")
 		indexFlag    = flag.String("index-on", "hdd", "index placement: hdd or ssd")
+		codecFlag    = flag.String("codec", "raw", "on-device posting codec: raw or gvarint")
 		ftlFlag      = flag.String("ftl", "pagemap", "cache SSD FTL: pagemap, blockmap, hybridlog")
 		resultTTL    = flag.Duration("result-ttl", 0, "dynamic scenario: TTL for cached results (0 = static)")
 		listTTL      = flag.Duration("list-ttl", 0, "dynamic scenario: TTL for cached lists (0 = static)")
@@ -64,6 +66,11 @@ func main() {
 	placement := hybrid.IndexOnHDD
 	if strings.EqualFold(*indexFlag, "ssd") {
 		placement = hybrid.IndexOnSSD
+	}
+	codec, err := index.ParseCodec(*codecFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	var ftl hybrid.FTLKind
 	switch strings.ToLower(*ftlFlag) {
@@ -97,6 +104,7 @@ func main() {
 		Cache:      cacheCfg,
 		Mode:       mode,
 		IndexOn:    placement,
+		Codec:      codec,
 		Engine:     engCfg,
 		UseModelPU: true,
 		CacheFTL:   ftl,

@@ -127,6 +127,10 @@ type Config struct {
 	Mode CacheMode
 	// IndexOn places the index files on HDD (default) or SSD.
 	IndexOn IndexPlacement
+	// Codec selects the posting-block encoding of the on-device index
+	// (default: index.CodecRaw). index.CodecGVarint stores compressed
+	// lists; every cache tier and stat then accounts the compressed bytes.
+	Codec index.CodecID
 	// Engine tunes query processing (top-K, early termination).
 	Engine engine.Config
 	// UseModelPU, when true, supplies the analytic utilization model of
@@ -145,8 +149,9 @@ type Config struct {
 	// Collection: New stamps it onto the index device instead of
 	// re-synthesizing postings, which skips the CPU-heavy part of setup
 	// when many systems share one collection. The image's spec must equal
-	// Collection. Stamping charges the same simulated device writes a
-	// direct build would, so the resulting system is indistinguishable.
+	// Collection and its codec must equal Codec. Stamping charges the same
+	// simulated device writes a direct build would, so the resulting
+	// system is indistinguishable.
 	IndexImage *index.Image
 }
 
@@ -219,7 +224,28 @@ func New(cfg Config) (*System, error) {
 	clock := simclock.New()
 	s := &System{Clock: clock, cfg: cfg}
 
-	ixBytes := index.RequiredBytes(cfg.Collection)
+	// Serialize the index (or adopt the prebuilt image) first: devices are
+	// sized to the encoded bytes, so a compressed codec buys a smaller
+	// simulated device, not dead space.
+	img := cfg.IndexImage
+	if img != nil {
+		if img.Spec() != cfg.Collection {
+			return nil, fmt.Errorf("hybrid: index image built for %+v, config wants %+v",
+				img.Spec(), cfg.Collection)
+		}
+		if img.Codec() != cfg.Codec {
+			return nil, fmt.Errorf("hybrid: index image encoded with codec %s, config wants %s",
+				img.Codec(), cfg.Codec)
+		}
+	} else {
+		var err error
+		img, err = index.BuildImage(cfg.Collection, cfg.Codec)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ixBytes := img.Bytes()
 	var ixDev storage.Device
 	switch cfg.IndexOn {
 	case IndexOnHDD:
@@ -231,17 +257,7 @@ func New(cfg Config) (*System, error) {
 	default:
 		return nil, fmt.Errorf("hybrid: unknown index placement %d", cfg.IndexOn)
 	}
-	var ix *index.Index
-	var err error
-	if cfg.IndexImage != nil {
-		if cfg.IndexImage.Spec() != cfg.Collection {
-			return nil, fmt.Errorf("hybrid: index image built for %+v, config wants %+v",
-				cfg.IndexImage.Spec(), cfg.Collection)
-		}
-		ix, err = cfg.IndexImage.Stamp(ixDev)
-	} else {
-		ix, err = index.Build(ixDev, cfg.Collection)
-	}
+	ix, err := img.Stamp(ixDev)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"hybridstore/internal/core"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/index"
 	"hybridstore/internal/workload"
 )
 
@@ -21,11 +22,14 @@ func smallConfig(policy core.Policy, mode CacheMode) Config {
 	log := workload.DefaultQueryLog(collection.VocabSize)
 	log.DistinctQueries = 10000
 
-	cacheCfg := core.DefaultConfig(3 << 19) // 1.5 MiB memory
+	// Capacities track the 6-byte posting encoding: the regime (capacity
+	// pressure on L1, SSD holding the hot set) is what matters, so cache
+	// budgets scale with the on-device list bytes.
+	cacheCfg := core.DefaultConfig(9 << 17) // 1.125 MiB memory
 	cacheCfg.Policy = policy
 	cacheCfg.TEV = 2
 	cacheCfg.SSDResultBytes = 2 << 20
-	cacheCfg.SSDListBytes = 12 << 20
+	cacheCfg.SSDListBytes = 9 << 20
 
 	engCfg := engine.DefaultConfig()
 	engCfg.TerminationFrac = 0.35
@@ -334,6 +338,52 @@ func TestCacheHierarchyPreservesRankings(t *testing.T) {
 					if got.Docs[j] != want.Docs[j] {
 						t.Fatalf("query %d rank %d: %+v vs %+v",
 							q.ID, j, got.Docs[j], want.Docs[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResultsIdenticalAcrossCodecs is the tentpole divergence test: every
+// cache mode must return the same ranked results whether the on-device
+// index is raw or group-varint compressed. The gvarint runs exercise the
+// compressed read path through every tier (memory hit, SSD reload, HDD
+// miss) while the raw runs are the reference.
+func TestResultsIdenticalAcrossCodecs(t *testing.T) {
+	for _, mode := range []CacheMode{CacheNone, CacheOneLevel, CacheTwoLevel} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func(codec index.CodecID) ([]*engine.Result, int64) {
+				cfg := smallConfig(core.PolicyCBLRU, mode)
+				cfg.Codec = codec
+				sys, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make([]*engine.Result, 0, 400)
+				for i := 0; i < 400; i++ {
+					res, _, err := sys.SearchNext()
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, res)
+				}
+				return out, sys.Index.SizeBytes()
+			}
+			rawRes, rawBytes := run(index.CodecRaw)
+			gvRes, gvBytes := run(index.CodecGVarint)
+			if gvBytes >= rawBytes {
+				t.Fatalf("gvarint index %d bytes, raw %d: no on-device savings", gvBytes, rawBytes)
+			}
+			for i := range rawRes {
+				a, b := rawRes[i], gvRes[i]
+				if a.QueryID != b.QueryID || len(a.Docs) != len(b.Docs) {
+					t.Fatalf("query %d: shape diverges across codecs", i)
+				}
+				for j := range a.Docs {
+					if a.Docs[j] != b.Docs[j] {
+						t.Fatalf("query %d rank %d: %+v (raw) vs %+v (gvarint)",
+							i, j, a.Docs[j], b.Docs[j])
 					}
 				}
 			}

@@ -410,3 +410,14 @@ func (m *Manager) NumDocs() int64 { return m.ix.NumDocs() }
 
 // ListBytes implements engine.ListSource.
 func (m *Manager) ListBytes(t workload.TermID) int64 { return m.ix.ListBytes(t) }
+
+// TermDF implements engine.ListSource.
+func (m *Manager) TermDF(t workload.TermID) int64 { return m.ix.TermDF(t) }
+
+// Codec implements engine.ListSource.
+func (m *Manager) Codec() index.CodecID { return m.ix.Codec() }
+
+// ListBlocks implements engine.ListSource. Block directories are in-memory
+// metadata: reading them costs no device time and goes straight to the
+// index.
+func (m *Manager) ListBlocks(t workload.TermID) []index.BlockRef { return m.ix.ListBlocks(t) }

@@ -118,7 +118,7 @@ func TestLRUBaselineListEvictionLoop(t *testing.T) {
 	cfg.MemListBytes = 64 << 10
 	cfg.SSDListBytes = 128 << 10 // tiny region: constant eviction
 	f := newFixture(t, cfg)
-	for i := 0; i < 40; i++ {
+	for i := 0; i < 80; i++ {
 		f.readSome(t, workload.TermID(30+i), 12<<10)
 	}
 	s := f.m.Stats()

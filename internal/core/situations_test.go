@@ -89,7 +89,7 @@ func TestSituationS6MemPlusHDD(t *testing.T) {
 	f := newSituationFixture(t)
 	f.readSome(t, 10, 8<<10) // 8 KiB prefix in memory
 	// Request more than the prefix: memory + HDD tail.
-	got := f.classify(t, 4, map[workload.TermID]int64{10: 16 << 10})
+	got := f.classify(t, 4, map[workload.TermID]int64{10: 12 << 10})
 	if got != S6ListsMemHDD {
 		t.Fatalf("got %v, want S6", got)
 	}
@@ -99,8 +99,8 @@ func TestSituationS8SSDPlusHDD(t *testing.T) {
 	f := newSituationFixture(t)
 	f.readSome(t, 10, 8<<10)
 	f.evictToSSD(t, 10)
-	// SSD holds 8 KiB; ask for 16: SSD + HDD with no memory copy.
-	got := f.classify(t, 5, map[workload.TermID]int64{10: 16 << 10})
+	// SSD holds 8 KiB; ask for 12: SSD + HDD with no memory copy.
+	got := f.classify(t, 5, map[workload.TermID]int64{10: 12 << 10})
 	if got != S8ListsSSDHDD {
 		t.Fatalf("got %v, want S8", got)
 	}

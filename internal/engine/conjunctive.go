@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -12,27 +11,33 @@ import (
 )
 
 // Conjunctive query processing (AND semantics) over doc-sorted lists with
-// skip pointers — the access pattern behind the paper's "skipped reads"
+// skip entries — the access pattern behind the paper's "skipped reads"
 // observation (§III): the driver list is scanned, and the other lists are
-// probed by jumping between skip blocks, so large spans of postings are
-// never read. An optional intersection cache (the third cache level of
-// §VIII's future work) short-circuits the two smallest lists entirely.
+// probed by jumping between blocks via the in-memory block directory's
+// MaxDoc skip entries, so large spans of postings are never read. An
+// optional intersection cache (the third cache level of §VIII's future
+// work) short-circuits the two smallest lists entirely.
 
-// DocSource supplies doc-sorted postings and skip tables. *index.Index
-// implements it.
+// DocSource supplies doc-sorted encoded postings and their block
+// directories. *index.Index implements it.
 type DocSource interface {
 	NumDocs() int64
-	ListBytes(t workload.TermID) int64
-	DocMeta(t workload.TermID) (index.DocMeta, bool)
-	ReadSkipTable(t workload.TermID) ([]index.SkipEntry, error)
-	ReadDocBlock(t workload.TermID, byteOff uint32) ([]workload.Posting, error)
+	TermDF(t workload.TermID) int64
+	Codec() index.CodecID
+	// DocBlocks returns term t's doc-sorted block directory (ascending
+	// MaxDoc). In-memory metadata — no device cost.
+	DocBlocks(t workload.TermID) []index.BlockRef
+	// DocBytes returns the encoded size of term t's doc-sorted payload.
+	DocBytes(t workload.TermID) int64
+	// ReadDocRange fills p with encoded doc-sorted bytes from offset off.
+	ReadDocRange(t workload.TermID, off int64, p []byte) error
 }
 
 // ConjStats summarizes one conjunctive execution.
 type ConjStats struct {
-	// BlocksRead counts skip blocks actually fetched.
+	// BlocksRead counts doc blocks actually fetched and decoded.
 	BlocksRead int64
-	// BlocksSkipped counts skip blocks jumped over without reading — the
+	// BlocksSkipped counts doc blocks jumped over without reading — the
 	// §III "skipped read" savings.
 	BlocksSkipped int64
 	// Matches is the size of the final conjunction.
@@ -55,6 +60,133 @@ func NewConjunctive(src DocSource, cfg Config, icache *intersect.Cache) *Conjunc
 	return &Conjunctive{src: src, cfg: cfg, icache: icache}
 }
 
+// docCursor walks one term's doc-sorted list block by block, decoding each
+// fetched block into a fixed scratch so probes can binary-search it.
+// Blocks between probe targets are never read — only their directory
+// entries (the in-memory skip entries) are consulted.
+type docCursor struct {
+	src     DocSource
+	term    workload.TermID
+	codec   index.CodecID
+	blocks  []index.BlockRef
+	total   int64 // encoded payload bytes
+	stats   *ConjStats
+	idx     int // current block index, -1 none loaded
+	buf     []byte
+	decoded []workload.Posting // current block, decoded
+	pos     int                // streaming position within decoded
+}
+
+func newDocCursor(src DocSource, t workload.TermID, stats *ConjStats) *docCursor {
+	return &docCursor{
+		src:    src,
+		term:   t,
+		codec:  src.Codec(),
+		blocks: src.DocBlocks(t),
+		total:  src.DocBytes(t),
+		stats:  stats,
+		idx:    -1,
+	}
+}
+
+// load fetches and decodes block i, accounting skipped blocks when the
+// cursor jumps forward past unread ones.
+func (c *docCursor) load(i int) error {
+	if c.idx >= 0 && i > c.idx+1 {
+		c.stats.BlocksSkipped += int64(i - c.idx - 1)
+	}
+	ref := c.blocks[i]
+	end := c.total
+	if i+1 < len(c.blocks) {
+		end = int64(c.blocks[i+1].Off)
+	}
+	n := end - int64(ref.Off)
+	if int64(cap(c.buf)) < n {
+		c.buf = make([]byte, n)
+	}
+	buf := c.buf[:n]
+	if err := c.src.ReadDocRange(c.term, int64(ref.Off), buf); err != nil {
+		return err
+	}
+	var cur index.BlockCursor
+	cur.Reset(c.codec, buf, int(ref.Count))
+	if c.decoded == nil {
+		c.decoded = make([]workload.Posting, 0, index.BlockLen)
+	}
+	c.decoded = c.decoded[:0]
+	for {
+		p, ok := cur.Next()
+		if !ok {
+			break
+		}
+		c.decoded = append(c.decoded, p)
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	c.stats.BlocksRead++
+	c.idx = i
+	c.pos = 0
+	return nil
+}
+
+// next streams the list in doc order, returning ok=false at the end.
+func (c *docCursor) next() (workload.Posting, bool, error) {
+	for c.idx < 0 || c.pos >= len(c.decoded) {
+		if c.idx+1 >= len(c.blocks) {
+			return workload.Posting{}, false, nil
+		}
+		if err := c.load(c.idx + 1); err != nil {
+			return workload.Posting{}, false, err
+		}
+	}
+	p := c.decoded[c.pos]
+	c.pos++
+	return p, true, nil
+}
+
+// find reports whether doc appears in the list, returning its tf. Probes
+// must come in ascending doc order (candidates are sorted), letting the
+// cursor only move forward.
+func (c *docCursor) find(doc uint32) (uint16, bool, error) {
+	// Locate the block that could contain doc: the first whose MaxDoc is
+	// >= doc (directory MaxDocs ascend on doc-sorted lists).
+	lo := c.idx
+	if lo < 0 {
+		lo = 0
+	}
+	i := lo + sort.Search(len(c.blocks)-lo, func(k int) bool { return c.blocks[lo+k].MaxDoc >= doc })
+	if i >= len(c.blocks) {
+		return 0, false, nil // doc beyond the whole list
+	}
+	if i != c.idx {
+		if err := c.load(i); err != nil {
+			return 0, false, err
+		}
+	}
+	d := c.decoded
+	j := sort.Search(len(d), func(k int) bool { return d[k].Doc >= doc })
+	if j < len(d) && d[j].Doc == doc {
+		return d[j].TF, true, nil
+	}
+	return 0, false, nil
+}
+
+// readAll streams the whole list through the cursor.
+func (c *docCursor) readAll() ([]workload.Posting, error) {
+	out := make([]workload.Posting, 0, c.src.TermDF(c.term))
+	for {
+		p, ok, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, p)
+	}
+}
+
 // Execute processes q with AND semantics and returns the top-K matches
 // ranked by summed tf·idf.
 func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
@@ -66,13 +198,17 @@ func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
 	terms := make([]workload.TermID, len(q.Terms))
 	copy(terms, q.Terms)
 	sort.Slice(terms, func(i, j int) bool {
-		return e.src.ListBytes(terms[i]) < e.src.ListBytes(terms[j])
+		di, dj := e.src.TermDF(terms[i]), e.src.TermDF(terms[j])
+		if di != dj {
+			return di < dj
+		}
+		return terms[i] < terms[j]
 	})
 
 	numDocs := e.src.NumDocs()
 	weights := make(map[workload.TermID]float64, len(terms))
 	for _, t := range terms {
-		weights[t] = idf(numDocs, e.src.ListBytes(t)/index.PostingSize)
+		weights[t] = idf(numDocs, e.src.TermDF(t))
 	}
 
 	// Candidates: (doc, partial score) from the smallest list — or from
@@ -86,7 +222,7 @@ func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
 
 	if len(terms) >= 2 {
 		pair := intersect.MakePair(terms[0], terms[1])
-		ipostings, hit, err := e.pairIntersection(pair, terms[0], terms[1], &stats)
+		ipostings, hit, err := e.pairIntersection(pair, &stats)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -101,7 +237,7 @@ func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
 		}
 		rest = terms[2:]
 	} else {
-		postings, err := e.readWholeList(terms[0], &stats)
+		postings, err := newDocCursor(e.src, terms[0], &stats).readAll()
 		if err != nil {
 			return nil, stats, err
 		}
@@ -117,14 +253,11 @@ func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
 		if len(candidates) == 0 {
 			break
 		}
-		probe, err := newSkipProbe(e.src, t, &stats)
-		if err != nil {
-			return nil, stats, err
-		}
+		cur := newDocCursor(e.src, t, &stats)
 		w := weights[t]
 		kept := candidates[:0]
 		for _, c := range candidates {
-			tf, ok, err := probe.find(c.doc)
+			tf, ok, err := cur.find(c.doc)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -149,17 +282,17 @@ func (e *Conjunctive) Execute(q workload.Query) (*Result, ConjStats, error) {
 
 // pairIntersection returns the (doc, tfA, tfB) intersection of two terms,
 // from the cache when present, computing and caching it otherwise.
-func (e *Conjunctive) pairIntersection(pair intersect.Pair, t0, t1 workload.TermID, stats *ConjStats) ([]intersect.Posting, bool, error) {
+func (e *Conjunctive) pairIntersection(pair intersect.Pair, stats *ConjStats) ([]intersect.Posting, bool, error) {
 	if e.icache != nil {
 		if ip, ok := e.icache.Get(pair); ok {
 			return ip, true, nil
 		}
 	}
-	a, err := e.readWholeList(pair.A, stats)
+	a, err := newDocCursor(e.src, pair.A, stats).readAll()
 	if err != nil {
 		return nil, false, err
 	}
-	b, err := e.readWholeList(pair.B, stats)
+	b, err := newDocCursor(e.src, pair.B, stats).readAll()
 	if err != nil {
 		return nil, false, err
 	}
@@ -168,75 +301,4 @@ func (e *Conjunctive) pairIntersection(pair intersect.Pair, t0, t1 workload.Term
 		e.icache.Put(pair, ip)
 	}
 	return ip, false, nil
-}
-
-// readWholeList streams every doc block of term t in order.
-func (e *Conjunctive) readWholeList(t workload.TermID, stats *ConjStats) ([]workload.Posting, error) {
-	skips, err := e.src.ReadSkipTable(t)
-	if err != nil {
-		return nil, err
-	}
-	m, _ := e.src.DocMeta(t)
-	out := make([]workload.Posting, 0, m.DF)
-	for _, sk := range skips {
-		block, err := e.src.ReadDocBlock(t, sk.ByteOff)
-		if err != nil {
-			return nil, err
-		}
-		stats.BlocksRead++
-		out = append(out, block...)
-	}
-	return out, nil
-}
-
-// skipProbe supports ascending membership probes into one doc-sorted list
-// using its skip table; blocks between probe targets are skipped, not
-// read.
-type skipProbe struct {
-	src      DocSource
-	term     workload.TermID
-	skips    []index.SkipEntry
-	stats    *ConjStats
-	blockIdx int                // current skip block index, -1 none loaded
-	block    []workload.Posting // current block contents
-}
-
-func newSkipProbe(src DocSource, t workload.TermID, stats *ConjStats) (*skipProbe, error) {
-	skips, err := src.ReadSkipTable(t)
-	if err != nil {
-		return nil, err
-	}
-	if len(skips) == 0 {
-		return nil, fmt.Errorf("engine: term %d has an empty skip table", t)
-	}
-	return &skipProbe{src: src, term: t, skips: skips, stats: stats, blockIdx: -1}, nil
-}
-
-// find reports whether doc appears in the list, returning its tf. Probes
-// must come in ascending doc order (candidates are sorted), letting the
-// cursor only move forward.
-func (p *skipProbe) find(doc uint32) (uint16, bool, error) {
-	// Locate the skip block that could contain doc: the last block whose
-	// FirstDoc <= doc.
-	lo := sort.Search(len(p.skips), func(i int) bool { return p.skips[i].FirstDoc > doc }) - 1
-	if lo < 0 {
-		return 0, false, nil // doc precedes the whole list
-	}
-	if p.blockIdx != lo {
-		if p.blockIdx >= 0 && lo > p.blockIdx+1 {
-			p.stats.BlocksSkipped += int64(lo - p.blockIdx - 1)
-		}
-		block, err := p.src.ReadDocBlock(p.term, p.skips[lo].ByteOff)
-		if err != nil {
-			return 0, false, err
-		}
-		p.stats.BlocksRead++
-		p.blockIdx = lo
-		p.block = block
-	}
-	idx := sort.Search(len(p.block), func(i int) bool { return p.block[i].Doc >= doc })
-	if idx < len(p.block) && p.block[idx].Doc == doc {
-		return p.block[idx].TF, true, nil
-	}
-	return 0, false, nil
 }

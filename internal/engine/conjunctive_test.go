@@ -107,22 +107,19 @@ func TestConjunctiveTopKBound(t *testing.T) {
 
 func TestConjunctiveSkipsBlocks(t *testing.T) {
 	ix, _ := testIndex(t)
-	// Drive the probe directly with two targets from distant skip blocks
-	// of the biggest list: everything between them must be jumped over,
-	// not read.
+	// Drive the cursor directly with two targets from distant blocks of
+	// the biggest list: everything between them must be jumped over via
+	// the block directory's MaxDoc entries, not read.
 	var stats ConjStats
-	probe, err := newSkipProbe(ix, 0, &stats)
-	if err != nil {
-		t.Fatal(err)
+	cur := newDocCursor(ix, 0, &stats)
+	if len(cur.blocks) < 12 {
+		t.Skipf("term 0 has only %d blocks", len(cur.blocks))
 	}
-	if len(probe.skips) < 12 {
-		t.Skipf("term 0 has only %d skip blocks", len(probe.skips))
+	if _, ok, err := cur.find(cur.blocks[0].MaxDoc); err != nil || !ok {
+		t.Fatalf("probe of a block's max doc missed (ok=%v err=%v)", ok, err)
 	}
-	if _, _, err := probe.find(probe.skips[0].FirstDoc); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok, err := probe.find(probe.skips[10].FirstDoc); err != nil || !ok {
-		t.Fatalf("probe of a block's first doc missed (ok=%v err=%v)", ok, err)
+	if _, ok, err := cur.find(cur.blocks[10].MaxDoc); err != nil || !ok {
+		t.Fatalf("probe of a block's max doc missed (ok=%v err=%v)", ok, err)
 	}
 	if stats.BlocksSkipped != 9 {
 		t.Fatalf("BlocksSkipped = %d, want 9 (blocks 1..9 jumped)", stats.BlocksSkipped)

@@ -9,6 +9,14 @@
 // processing stop after a prefix, the engine's reads exhibit exactly the
 // partial-list utilization (Fig 3a) and skipped-read patterns (§III) the
 // paper's policies exploit.
+//
+// The read side is zero-copy: chunks of whole encoded blocks come straight
+// from the source and an index.BlockCursor decodes them doc-at-a-time — no
+// intermediate []workload.Posting is materialized. Chunking is measured in
+// blocks (posting counts), not encoded bytes, so scoring, early
+// termination, and therefore results are byte-identical across codecs;
+// only the byte accounting (BytesRead, Utilization) reflects each codec's
+// encoded size.
 package engine
 
 import (
@@ -21,12 +29,19 @@ import (
 	"hybridstore/internal/workload"
 )
 
-// ListSource supplies posting-list bytes. index.Index satisfies it, and the
-// cache manager wraps one.
+// ListSource supplies encoded posting-list bytes and their block metadata.
+// index.Index satisfies it, and the cache manager wraps one.
 type ListSource interface {
-	// ListBytes returns the serialized size of term t's list.
+	// ListBytes returns the encoded size of term t's list.
 	ListBytes(t workload.TermID) int64
-	// ReadListRange fills p with list bytes starting at offset off.
+	// TermDF returns term t's document frequency.
+	TermDF(t workload.TermID) int64
+	// Codec identifies the block encoding of the list payloads.
+	Codec() index.CodecID
+	// ListBlocks returns term t's block directory (in-memory metadata; no
+	// device cost). The engine must not mutate the returned slice.
+	ListBlocks(t workload.TermID) []index.BlockRef
+	// ReadListRange fills p with encoded list bytes starting at offset off.
 	ReadListRange(t workload.TermID, off int64, p []byte) error
 	// NumDocs returns the collection size (for IDF weighting).
 	NumDocs() int64
@@ -36,8 +51,9 @@ type ListSource interface {
 type Config struct {
 	// TopK is the number of results per query (paper: 50).
 	TopK int
-	// ChunkBytes is the list read granularity; impact-ordered lists are
-	// consumed chunk by chunk until termination. Defaults to 8 KiB.
+	// ChunkBytes sizes the list read granularity: lists are consumed
+	// ChunkBytes/(BlockLen·PostingSize) whole blocks at a time (at least
+	// one) until termination. Defaults to 8 KiB.
 	ChunkBytes int
 	// TerminationFrac controls early termination: a list is abandoned when
 	// the best possible remaining contribution falls below this fraction
@@ -67,9 +83,6 @@ func (c *Config) fillDefaults() {
 	if c.ChunkBytes <= 0 {
 		c.ChunkBytes = 8 << 10
 	}
-	if c.ChunkBytes%index.PostingSize != 0 {
-		c.ChunkBytes += index.PostingSize - c.ChunkBytes%index.PostingSize
-	}
 	if c.TerminationFrac <= 0 {
 		c.TerminationFrac = 0.15
 	}
@@ -79,6 +92,17 @@ func (c *Config) fillDefaults() {
 	if c.PerPostingCost <= 0 {
 		c.PerPostingCost = 20 * time.Nanosecond
 	}
+}
+
+// chunkBlocks returns how many whole blocks one chunk read covers — a
+// posting-count granularity, deliberately independent of the codec so that
+// termination points (and results) do not shift with compression.
+func (c *Config) chunkBlocks() int {
+	n := c.ChunkBytes / (index.BlockLen * index.PostingSize)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // ScoredDoc is one ranked result.
@@ -113,25 +137,28 @@ type ExecStats struct {
 // Engine executes queries against a ListSource.
 //
 // An Engine reuses internal scratch state (scan buffer, score accumulator,
-// top-K heap) across Execute calls to keep the steady-state query path
-// allocation-free; it is therefore not safe for concurrent use. Give each
-// goroutine its own Engine.
+// top-K heap, block cursor) across Execute calls to keep the steady-state
+// query path allocation-free; it is therefore not safe for concurrent use.
+// Give each goroutine its own Engine.
 type Engine struct {
 	src ListSource
 	cfg Config
 
+	codec       index.CodecID
+	chunkBlocks int
+
 	// Per-Execute scratch, lazily allocated and reused.
-	scanBuf  []byte             // chunk read buffer (cfg.ChunkBytes)
-	postings []workload.Posting // decoded-chunk scratch
-	scores   map[uint32]float64 // per-doc score accumulator
-	top      *topK
-	terms    []workload.TermID
+	scanBuf []byte // chunk read buffer, grown to the largest chunk seen
+	cur     index.BlockCursor
+	scores  map[uint32]float64 // per-doc score accumulator
+	top     *topK
+	terms   []workload.TermID
 }
 
 // New builds an engine over src.
 func New(src ListSource, cfg Config) *Engine {
 	cfg.fillDefaults()
-	return &Engine{src: src, cfg: cfg}
+	return &Engine{src: src, cfg: cfg, codec: src.Codec(), chunkBlocks: cfg.chunkBlocks()}
 }
 
 // Config returns the engine's effective configuration.
@@ -147,9 +174,10 @@ func idf(numDocs, df int64) float64 {
 }
 
 // Execute processes q and returns its top-K result plus execution stats.
-// Terms are processed in increasing document-frequency order so short
-// lists establish the score threshold before long lists are touched,
-// maximizing early-termination effect.
+// Terms are processed in increasing document-frequency order (ties by term
+// ID) so short lists establish the score threshold before long lists are
+// touched, maximizing early-termination effect. Ordering by DF rather than
+// encoded bytes keeps the processing order codec-invariant.
 func (e *Engine) Execute(q workload.Query) (*Result, ExecStats, error) {
 	var stats ExecStats
 	if e.scores == nil {
@@ -162,7 +190,11 @@ func (e *Engine) Execute(q workload.Query) (*Result, ExecStats, error) {
 	e.terms = append(e.terms[:0], q.Terms...)
 	terms := e.terms
 	sort.Slice(terms, func(i, j int) bool {
-		return e.src.ListBytes(terms[i]) < e.src.ListBytes(terms[j])
+		di, dj := e.src.TermDF(terms[i]), e.src.TermDF(terms[j])
+		if di != dj {
+			return di < dj
+		}
+		return terms[i] < terms[j]
 	})
 
 	numDocs := e.src.NumDocs()
@@ -174,7 +206,7 @@ func (e *Engine) Execute(q workload.Query) (*Result, ExecStats, error) {
 	top := e.top
 	stats.Terms = make([]TermStats, 0, len(terms))
 	for _, t := range terms {
-		ts, err := e.scanList(t, idf(numDocs, e.src.ListBytes(t)/index.PostingSize), scores, top, &stats)
+		ts, err := e.scanList(t, idf(numDocs, e.src.TermDF(t)), scores, top, &stats)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -185,44 +217,67 @@ func (e *Engine) Execute(q workload.Query) (*Result, ExecStats, error) {
 	return &Result{QueryID: q.ID, Docs: top.ranked()}, stats, nil
 }
 
-// scanList consumes term t's impact-ordered list chunk by chunk,
+// scanList consumes term t's impact-ordered list chunk by chunk (whole
+// encoded blocks), decoding doc-at-a-time through the block cursor and
 // accumulating scores, until the list ends or early termination fires.
 func (e *Engine) scanList(t workload.TermID, w float64, scores map[uint32]float64, top *topK, stats *ExecStats) (TermStats, error) {
 	total := e.src.ListBytes(t)
+	blocks := e.src.ListBlocks(t)
 	ts := TermStats{Term: t, ListBytes: total}
-	if e.scanBuf == nil {
-		e.scanBuf = make([]byte, e.cfg.ChunkBytes)
-	}
-	buf := e.scanBuf
-	var off int64
-	for off < total {
-		n := int64(len(buf))
-		if total-off < n {
-			n = total - off
+	for bi := 0; bi < len(blocks); bi += e.chunkBlocks {
+		bj := bi + e.chunkBlocks
+		if bj > len(blocks) {
+			bj = len(blocks)
 		}
-		if err := e.src.ReadListRange(t, off, buf[:n]); err != nil {
+		chunkOff := int64(blocks[bi].Off)
+		chunkEnd := total
+		if bj < len(blocks) {
+			chunkEnd = int64(blocks[bj].Off)
+		}
+		n := chunkEnd - chunkOff
+		if int64(len(e.scanBuf)) < n {
+			e.scanBuf = make([]byte, n)
+		}
+		buf := e.scanBuf[:n]
+		if err := e.src.ReadListRange(t, chunkOff, buf); err != nil {
 			return ts, err
 		}
-		off += n
 		ts.BytesRead += n
 
-		e.postings = index.AppendPostings(e.postings[:0], buf[:n])
-		postings := e.postings
-		for _, p := range postings {
-			s := scores[p.Doc] + float64(p.TF)*w
-			scores[p.Doc] = s
-			top.offer(p.Doc, s)
+		scored := 0
+		var lastTF uint16
+		for k := bi; k < bj; k++ {
+			blockOff := int64(blocks[k].Off) - chunkOff
+			blockEnd := n
+			if k+1 < bj {
+				blockEnd = int64(blocks[k+1].Off) - chunkOff
+			}
+			e.cur.Reset(e.codec, buf[blockOff:blockEnd], int(blocks[k].Count))
+			for {
+				p, ok := e.cur.Next()
+				if !ok {
+					break
+				}
+				s := scores[p.Doc] + float64(p.TF)*w
+				scores[p.Doc] = s
+				top.offer(p.Doc, s)
+				lastTF = p.TF
+				scored++
+			}
+			if err := e.cur.Err(); err != nil {
+				return ts, err
+			}
 		}
-		stats.PostingsScored += int64(len(postings))
+		stats.PostingsScored += int64(scored)
 		if e.cfg.Clock != nil {
-			e.cfg.Clock.AdvanceAttr(time.Duration(len(postings))*e.cfg.PerPostingCost, simclock.CompCPUIntersect)
+			e.cfg.Clock.AdvanceAttr(time.Duration(scored)*e.cfg.PerPostingCost, simclock.CompCPUIntersect)
 		}
 
 		// Early termination: remaining postings have TF no larger than the
 		// last one seen (impact order). If even that bound cannot move the
 		// top-K meaningfully, abandon the tail.
-		if top.full() && len(postings) > 0 {
-			bound := float64(postings[len(postings)-1].TF) * w
+		if top.full() && scored > 0 {
+			bound := float64(lastTF) * w
 			if bound < e.cfg.TerminationFrac*top.min() {
 				ts.Terminated = true
 				break

@@ -218,13 +218,13 @@ func TestConfigDefaults(t *testing.T) {
 	if c.TopK != 50 || c.ChunkBytes <= 0 || c.TerminationFrac <= 0 || c.DocResultBytes != 400 {
 		t.Fatalf("defaults: %+v", c)
 	}
-	if c.ChunkBytes%index.PostingSize != 0 {
-		t.Fatalf("ChunkBytes %d not posting-aligned", c.ChunkBytes)
+	if n := c.chunkBlocks(); n != c.ChunkBytes/(index.BlockLen*index.PostingSize) {
+		t.Fatalf("chunkBlocks = %d for ChunkBytes %d", n, c.ChunkBytes)
 	}
-	c2 := Config{ChunkBytes: 1000} // not a multiple of 8
+	c2 := Config{ChunkBytes: 1} // below one block
 	c2.fillDefaults()
-	if c2.ChunkBytes%index.PostingSize != 0 {
-		t.Fatalf("ChunkBytes %d not realigned", c2.ChunkBytes)
+	if n := c2.chunkBlocks(); n != 1 {
+		t.Fatalf("chunkBlocks = %d, want floor of 1", n)
 	}
 }
 

@@ -25,23 +25,31 @@ type imageEntry struct {
 	err  error
 }
 
+// imageKey identifies one cached artifact: images differ per codec as well
+// as per collection.
+type imageKey struct {
+	spec  workload.CollectionSpec
+	codec index.CodecID
+}
+
 var artifactMu sync.Mutex
-var artifactImages = make(map[workload.CollectionSpec]*imageEntry)
+var artifactImages = make(map[imageKey]*imageEntry)
 var artifactBuilds int64
 var artifactBytes int64
 
-// sharedImage returns the index image for spec, building it at most once
-// per process no matter how many points request it concurrently.
-func sharedImage(spec workload.CollectionSpec) (*index.Image, error) {
+// sharedImage returns the index image for (spec, codec), building it at
+// most once per process no matter how many points request it concurrently.
+func sharedImage(spec workload.CollectionSpec, codec index.CodecID) (*index.Image, error) {
+	key := imageKey{spec: spec, codec: codec}
 	artifactMu.Lock()
-	e, ok := artifactImages[spec]
+	e, ok := artifactImages[key]
 	if !ok {
 		e = &imageEntry{}
-		artifactImages[spec] = e
+		artifactImages[key] = e
 	}
 	artifactMu.Unlock()
 	e.once.Do(func() {
-		e.img, e.err = index.BuildImage(spec)
+		e.img, e.err = index.BuildImage(spec, codec)
 		artifactMu.Lock()
 		artifactBuilds++
 		if e.img != nil {
@@ -64,7 +72,7 @@ func ArtifactStats() (images int, builds int64, bytes int64) {
 func ResetArtifacts() {
 	artifactMu.Lock()
 	defer artifactMu.Unlock()
-	artifactImages = make(map[workload.CollectionSpec]*imageEntry)
+	artifactImages = make(map[imageKey]*imageEntry)
 	artifactBuilds = 0
 	artifactBytes = 0
 }

@@ -16,6 +16,7 @@ import (
 	hybrid "hybridstore"
 	"hybridstore/internal/core"
 	"hybridstore/internal/engine"
+	"hybridstore/internal/index"
 	"hybridstore/internal/obs"
 	"hybridstore/internal/workload"
 )
@@ -62,6 +63,10 @@ type Scale struct {
 	// Jobs value: points are independent deterministic systems and rows
 	// are assembled in point order.
 	Jobs int
+	// Codec selects the on-device posting-block encoding (hybridbench
+	// -codec). Results are byte-identical across codecs; byte-denominated
+	// stats (device bytes, cache occupancy) reflect the encoded size.
+	Codec index.CodecID
 }
 
 // FullScale is the reference configuration: the regime of the paper's
@@ -137,7 +142,7 @@ func (sc Scale) cacheConfig(policy core.Policy) core.Config {
 // (docs, vocab, seed, ...) synthesize the collection once.
 func (sc Scale) system(policy core.Policy, mode hybrid.CacheMode, indexOn hybrid.IndexPlacement, numDocs int, cache core.Config) (*hybrid.System, error) {
 	spec := sc.collection(numDocs)
-	img, err := sharedImage(spec)
+	img, err := sharedImage(spec, sc.Codec)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +152,7 @@ func (sc Scale) system(policy core.Policy, mode hybrid.CacheMode, indexOn hybrid
 		Cache:      cache,
 		Mode:       mode,
 		IndexOn:    indexOn,
+		Codec:      sc.Codec,
 		Engine:     sc.engineConfig(),
 		UseModelPU: true,
 		IndexImage: img,

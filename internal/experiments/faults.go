@@ -38,7 +38,7 @@ func faultSpec(rate float64) storage.FaultSpec {
 // (mirrors Scale.system, which has no fault knob).
 func (sc Scale) faultSystem(spec storage.FaultSpec, mode hybrid.CacheMode) (*hybrid.System, error) {
 	colSpec := sc.collection(sc.BaseDocs)
-	img, err := sharedImage(colSpec)
+	img, err := sharedImage(colSpec, sc.Codec)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +48,7 @@ func (sc Scale) faultSystem(spec storage.FaultSpec, mode hybrid.CacheMode) (*hyb
 		Cache:       sc.cacheConfig(core.PolicyCBLRU),
 		Mode:        mode,
 		IndexOn:     hybrid.IndexOnHDD,
+		Codec:       sc.Codec,
 		Engine:      sc.engineConfig(),
 		UseModelPU:  true,
 		IndexImage:  img,

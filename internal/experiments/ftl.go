@@ -29,7 +29,7 @@ func FTLComparison(w io.Writer, sc Scale) error {
 	rows := make([]row, len(ftls))
 	err := sc.forPoints(len(ftls), func(p int) error {
 		spec := sc.collection(sc.BaseDocs)
-		img, err := sharedImage(spec)
+		img, err := sharedImage(spec, sc.Codec)
 		if err != nil {
 			return err
 		}
@@ -39,6 +39,7 @@ func FTLComparison(w io.Writer, sc Scale) error {
 			Cache:      sc.cacheConfig(core.PolicyCBLRU),
 			Mode:       hybrid.CacheTwoLevel,
 			IndexOn:    hybrid.IndexOnHDD,
+			Codec:      sc.Codec,
 			Engine:     sc.engineConfig(),
 			UseModelPU: true,
 			CacheFTL:   ftls[p],

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"hybridstore/internal/index"
 	"hybridstore/internal/obs"
 )
 
@@ -135,24 +136,32 @@ func TestSharedImageCaching(t *testing.T) {
 	specA := sc.collection(sc.BaseDocs)
 	specB := sc.collection(sc.BaseDocs / 2)
 
-	imgA1, err := sharedImage(specA)
+	imgA1, err := sharedImage(specA, index.CodecRaw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	imgA2, err := sharedImage(specA)
+	imgA2, err := sharedImage(specA, index.CodecRaw)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if imgA1 != imgA2 {
 		t.Fatal("same spec returned distinct images")
 	}
-	if _, err := sharedImage(specB); err != nil {
+	if _, err := sharedImage(specB, index.CodecRaw); err != nil {
 		t.Fatal(err)
+	}
+	// Same spec under a different codec is a distinct artifact.
+	imgAGV, err := sharedImage(specA, index.CodecGVarint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imgAGV == imgA1 {
+		t.Fatal("distinct codecs returned one image")
 	}
 
 	images, builds, bytes := ArtifactStats()
-	if images != 2 || builds != 2 {
-		t.Fatalf("got %d images / %d builds, want 2 / 2", images, builds)
+	if images != 3 || builds != 3 {
+		t.Fatalf("got %d images / %d builds, want 3 / 3", images, builds)
 	}
 	if bytes < imgA1.Bytes() {
 		t.Fatalf("retained bytes %d below single image size %d", bytes, imgA1.Bytes())
@@ -174,7 +183,7 @@ func TestSharedImageConcurrent(t *testing.T) {
 	spec := sc.collection(sc.BaseDocs)
 	sc.Jobs = 16
 	err := sc.forPoints(32, func(i int) error {
-		_, err := sharedImage(spec)
+		_, err := sharedImage(spec, index.CodecRaw)
 		return err
 	})
 	if err != nil {

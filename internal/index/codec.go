@@ -1,0 +1,282 @@
+package index
+
+// Block-compressed posting codecs.
+//
+// Every posting list — impact-ordered and doc-sorted alike — is encoded as
+// fixed-count blocks of BlockLen postings. A per-block BlockRef (max doc,
+// byte offset, posting count) lives in the in-memory block directory
+// (serialized after the term directory, see index.go), so readers can
+// address any block without touching the payload. Two codecs share the
+// layout:
+//
+//   - CodecRaw: 6 bytes per posting (doc uint32, tf uint16), the fixed-width
+//     baseline. Block boundaries are purely directory constructs.
+//   - CodecGVarint: per block, doc IDs are delta-encoded against the
+//     previous doc (zigzag of the two's-complement uint32 difference, so
+//     unordered impact lists encode losslessly too) and packed group-varint
+//     style — one tag byte per group of four docs giving each delta's byte
+//     length (1–4), then the truncated little-endian deltas — followed by
+//     the group's term frequencies as LEB128 varints. The delta base resets
+//     to zero at every block start, keeping blocks independently decodable
+//     for skip-driven access.
+//
+// BlockCursor is the zero-copy read side: it decodes doc-at-a-time straight
+// from a device-returned buffer, no intermediate []workload.Posting.
+
+import (
+	"fmt"
+
+	"hybridstore/internal/workload"
+)
+
+// BlockLen is the posting count per block (the last block of a list may
+// hold fewer).
+const BlockLen = 128
+
+// CodecID selects a posting-block encoding.
+type CodecID uint8
+
+// Available codecs.
+const (
+	CodecRaw CodecID = iota
+	CodecGVarint
+)
+
+// String names the codec (the -codec flag values).
+func (c CodecID) String() string {
+	switch c {
+	case CodecRaw:
+		return "raw"
+	case CodecGVarint:
+		return "gvarint"
+	default:
+		return fmt.Sprintf("CodecID(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is a known codec.
+func (c CodecID) Valid() bool { return c == CodecRaw || c == CodecGVarint }
+
+// ParseCodec maps a -codec flag value to a CodecID.
+func ParseCodec(name string) (CodecID, error) {
+	switch name {
+	case "raw":
+		return CodecRaw, nil
+	case "gvarint":
+		return CodecGVarint, nil
+	default:
+		return 0, fmt.Errorf("index: unknown codec %q (want raw or gvarint)", name)
+	}
+}
+
+// BlockRef locates one block inside a list payload: the skip entry.
+type BlockRef struct {
+	// MaxDoc is the highest document ID in the block. On doc-sorted lists
+	// it is the block's last doc and drives skip-seeking; on impact lists
+	// it is informational.
+	MaxDoc uint32
+	// Off is the block's byte offset relative to the list payload start.
+	Off uint32
+	// Count is the number of postings in the block (BlockLen except for a
+	// list's final block).
+	Count uint32
+}
+
+// zigzag32 maps a signed delta to an unsigned value with small magnitudes
+// encoding short.
+func zigzag32(v int32) uint32 { return uint32((v << 1) ^ (v >> 31)) }
+
+// unzigzag32 inverts zigzag32.
+func unzigzag32(z uint32) int32 { return int32(z>>1) ^ -int32(z&1) }
+
+// appendBlockRaw encodes ps as fixed-width postings.
+func appendBlockRaw(dst []byte, ps []workload.Posting) []byte {
+	for _, p := range ps {
+		var b [PostingSize]byte
+		EncodePosting(b[:], p)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// appendBlockGVarint encodes ps as delta-packed groups; the delta base is
+// zero so the block decodes independently.
+func appendBlockGVarint(dst []byte, ps []workload.Posting) []byte {
+	var prev uint32
+	for g := 0; g < len(ps); g += 4 {
+		n := len(ps) - g
+		if n > 4 {
+			n = 4
+		}
+		tagPos := len(dst)
+		dst = append(dst, 0)
+		var tag byte
+		for k := 0; k < n; k++ {
+			z := zigzag32(int32(ps[g+k].Doc - prev))
+			prev = ps[g+k].Doc
+			bl := 1
+			for z >= 1<<(8*bl) && bl < 4 {
+				bl++
+			}
+			tag |= byte(bl-1) << (2 * k)
+			for j := 0; j < bl; j++ {
+				dst = append(dst, byte(z>>(8*j)))
+			}
+		}
+		dst[tagPos] = tag
+		for k := 0; k < n; k++ {
+			v := uint32(ps[g+k].TF)
+			for v >= 0x80 {
+				dst = append(dst, byte(v)|0x80)
+				v >>= 7
+			}
+			dst = append(dst, byte(v))
+		}
+	}
+	return dst
+}
+
+// EncodeList appends ps to dst as codec blocks of BlockLen postings,
+// appending one BlockRef per block to refs. Block offsets are relative to
+// the first byte this call appends (the list payload start).
+func EncodeList(dst []byte, refs []BlockRef, c CodecID, ps []workload.Posting) ([]byte, []BlockRef) {
+	base := len(dst)
+	for i := 0; i < len(ps); i += BlockLen {
+		j := i + BlockLen
+		if j > len(ps) {
+			j = len(ps)
+		}
+		block := ps[i:j]
+		maxDoc := block[0].Doc
+		for _, p := range block[1:] {
+			if p.Doc > maxDoc {
+				maxDoc = p.Doc
+			}
+		}
+		refs = append(refs, BlockRef{
+			MaxDoc: maxDoc,
+			Off:    uint32(len(dst) - base),
+			Count:  uint32(len(block)),
+		})
+		switch c {
+		case CodecGVarint:
+			dst = appendBlockGVarint(dst, block)
+		default:
+			dst = appendBlockRaw(dst, block)
+		}
+	}
+	return dst, refs
+}
+
+// BlockCursor decodes one block's postings doc-at-a-time from an encoded
+// buffer. It holds no allocations of its own beyond fixed group scratch, so
+// hot paths can embed one and Reset it per block. A cursor must not be used
+// after Next returns false; check Err for truncation or corruption.
+type BlockCursor struct {
+	codec CodecID
+	buf   []byte
+	count int
+	i     int // postings emitted
+	pos   int // byte position (gvarint)
+	prev  uint32
+	gdocs [4]uint32
+	gtfs  [4]uint16
+	gn    int // postings decoded into the group scratch
+	gi    int // next group-scratch entry to emit
+	err   error
+}
+
+// Reset points the cursor at a block payload holding count postings.
+func (c *BlockCursor) Reset(codec CodecID, buf []byte, count int) {
+	*c = BlockCursor{codec: codec, buf: buf, count: count}
+}
+
+// Err returns the first decode error (nil on clean exhaustion).
+func (c *BlockCursor) Err() error { return c.err }
+
+// Next returns the next posting, or ok=false at block end or on error.
+func (c *BlockCursor) Next() (workload.Posting, bool) {
+	if c.err != nil || c.i >= c.count {
+		return workload.Posting{}, false
+	}
+	switch c.codec {
+	case CodecRaw:
+		off := c.i * PostingSize
+		if off+PostingSize > len(c.buf) {
+			c.err = fmt.Errorf("index: raw block truncated at posting %d/%d", c.i, c.count)
+			return workload.Posting{}, false
+		}
+		c.i++
+		return DecodePosting(c.buf[off:]), true
+	case CodecGVarint:
+		if c.gi >= c.gn {
+			if !c.fillGroup() {
+				return workload.Posting{}, false
+			}
+		}
+		p := workload.Posting{Doc: c.gdocs[c.gi], TF: c.gtfs[c.gi]}
+		c.gi++
+		c.i++
+		return p, true
+	default:
+		c.err = fmt.Errorf("index: unknown codec %d", c.codec)
+		return workload.Posting{}, false
+	}
+}
+
+// fillGroup decodes the next group (tag, doc deltas, tf varints) into the
+// group scratch, reporting false on truncation or overflow.
+func (c *BlockCursor) fillGroup() bool {
+	n := c.count - c.i
+	if n > 4 {
+		n = 4
+	}
+	if c.pos >= len(c.buf) {
+		c.err = fmt.Errorf("index: gvarint block truncated at group tag (posting %d/%d)", c.i, c.count)
+		return false
+	}
+	tag := c.buf[c.pos]
+	c.pos++
+	for k := 0; k < n; k++ {
+		bl := int((tag>>(2*k))&3) + 1
+		if c.pos+bl > len(c.buf) {
+			c.err = fmt.Errorf("index: gvarint block truncated in doc deltas (posting %d/%d)", c.i, c.count)
+			return false
+		}
+		var z uint32
+		for j := 0; j < bl; j++ {
+			z |= uint32(c.buf[c.pos+j]) << (8 * j)
+		}
+		c.pos += bl
+		c.prev += uint32(unzigzag32(z))
+		c.gdocs[k] = c.prev
+	}
+	for k := 0; k < n; k++ {
+		var v uint32
+		shift := 0
+		for {
+			if c.pos >= len(c.buf) {
+				c.err = fmt.Errorf("index: gvarint block truncated in tf varints (posting %d/%d)", c.i, c.count)
+				return false
+			}
+			b := c.buf[c.pos]
+			c.pos++
+			v |= uint32(b&0x7f) << shift
+			if b&0x80 == 0 {
+				break
+			}
+			shift += 7
+			if shift > 14 {
+				c.err = fmt.Errorf("index: gvarint tf varint overflows uint16 (posting %d/%d)", c.i, c.count)
+				return false
+			}
+		}
+		if v > 0xffff {
+			c.err = fmt.Errorf("index: gvarint tf %d overflows uint16 (posting %d/%d)", v, c.i, c.count)
+			return false
+		}
+		c.gtfs[k] = uint16(v)
+	}
+	c.gn, c.gi = n, 0
+	return true
+}

@@ -1,148 +1,53 @@
 package index
 
-// Doc-sorted posting sections with skip tables.
+// Doc-sorted posting sections.
 //
 // The impact-ordered lists serve the paper's disjunctive (filtered vector
 // model) processing. Conjunctive (AND) processing — the workload behind
 // the paper's "skipped reads" observation (§III) and its three-level-
 // caching future work (§VIII, [19]) — needs postings sorted by document
 // with skip pointers, like Lucene's skip lists. Build writes both
-// representations: the doc-sorted section of each term follows all
-// impact-ordered lists and starts with a skip table so a reader can jump
-// into the middle of a list without scanning it.
-//
-// Doc-sorted section layout per term:
-//
-//	skipCount uint32
-//	skipCount × { firstDoc uint32, byteOff uint32 }   // off relative to postings start
-//	postings  × { doc uint32, tf uint16, pad uint16 } // ascending doc
-//
-// Every skip entry covers SkipInterval postings; byteOff points at the
-// entry's first posting.
+// representations: each term's doc-sorted payload follows all
+// impact-ordered lists, block-encoded under the same codec, and its skip
+// entries (BlockRef.MaxDoc per block) live in the in-memory block
+// directory, so a reader can jump into the middle of a list without
+// scanning it and without spending device reads on skip tables.
 
 import (
-	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"hybridstore/internal/storage"
 	"hybridstore/internal/workload"
 )
 
-// SkipInterval is the number of postings covered by one skip entry.
-const SkipInterval = 128
-
-// skipEntrySize is firstDoc uint32 + byteOff uint32.
-const skipEntrySize = 8
-
-// SkipEntry locates one skip block inside a doc-sorted list.
-type SkipEntry struct {
-	// FirstDoc is the lowest document ID in the block.
-	FirstDoc uint32
-	// ByteOff is the block's offset relative to the postings start.
-	ByteOff uint32
-}
-
-// DocMeta locates a term's doc-sorted section.
-type DocMeta struct {
-	// Offset is the device position of the section (the skip table).
-	Offset int64
-	// DF is the posting count.
-	DF int64
-}
-
-// SkipTableBytes returns the serialized skip-table size for df postings.
-func SkipTableBytes(df int64) int64 {
-	blocks := (df + SkipInterval - 1) / SkipInterval
-	return 4 + blocks*skipEntrySize
-}
-
-// DocSectionBytes returns the whole doc-sorted section size for df
-// postings.
-func DocSectionBytes(df int64) int64 {
-	return SkipTableBytes(df) + df*PostingSize
-}
-
-// DocMeta returns the doc-sorted section descriptor for term t, or ok =
-// false when the index was built without doc-sorted sections.
-func (ix *Index) DocMeta(t workload.TermID) (DocMeta, bool) {
-	if len(ix.docTerms) == 0 {
-		return DocMeta{}, false
-	}
+// DocMeta returns the directory entry for term t's doc-sorted payload.
+func (ix *Index) DocMeta(t workload.TermID) TermMeta {
 	if int(t) < 0 || int(t) >= len(ix.docTerms) {
 		panic(fmt.Sprintf("index: term %d out of range [0,%d)", t, len(ix.docTerms)))
 	}
-	return ix.docTerms[t], true
+	return ix.docTerms[t]
 }
 
-// ReadSkipTable reads term t's skip table.
-func (ix *Index) ReadSkipTable(t workload.TermID) ([]SkipEntry, error) {
-	m, ok := ix.DocMeta(t)
-	if !ok {
-		return nil, fmt.Errorf("index: no doc-sorted section (version 1 index)")
-	}
-	head := make([]byte, 4)
-	if _, err := ix.dev.ReadAt(head, m.Offset); err != nil {
-		return nil, err
-	}
-	count := int(binary.LittleEndian.Uint32(head))
-	buf := make([]byte, count*skipEntrySize)
-	if _, err := ix.dev.ReadAt(buf, m.Offset+4); err != nil {
-		return nil, err
-	}
-	out := make([]SkipEntry, count)
-	for i := range out {
-		out[i] = SkipEntry{
-			FirstDoc: binary.LittleEndian.Uint32(buf[i*skipEntrySize:]),
-			ByteOff:  binary.LittleEndian.Uint32(buf[i*skipEntrySize+4:]),
-		}
-	}
-	return out, nil
+// DocBytes returns the encoded size of term t's doc-sorted payload.
+func (ix *Index) DocBytes(t workload.TermID) int64 { return ix.DocMeta(t).Bytes() }
+
+// DocBlocks returns term t's doc-sorted block directory: ascending-MaxDoc
+// skip entries, one per block. In-memory metadata — no device cost.
+// Callers must not mutate the returned slice.
+func (ix *Index) DocBlocks(t workload.TermID) []BlockRef {
+	ix.DocMeta(t) // range check
+	return ix.docBlocks[t]
 }
 
-// ReadDocBlock reads the skip block starting at byteOff (relative to the
-// postings start) holding up to SkipInterval postings. It returns the
-// decoded postings, fewer at the list tail.
-func (ix *Index) ReadDocBlock(t workload.TermID, byteOff uint32) ([]workload.Posting, error) {
-	m, ok := ix.DocMeta(t)
-	if !ok {
-		return nil, fmt.Errorf("index: no doc-sorted section (version 1 index)")
+// ReadDocRange reads n bytes of term t's encoded doc-sorted payload
+// starting at byte offset off within the payload, directly from the
+// device.
+func (ix *Index) ReadDocRange(t workload.TermID, off int64, p []byte) error {
+	m := ix.DocMeta(t)
+	if off < 0 || off+int64(len(p)) > m.Bytes() {
+		return fmt.Errorf("index: term %d doc range [%d,+%d) outside payload of %d bytes: %w",
+			t, off, len(p), m.Bytes(), storage.ErrOutOfRange)
 	}
-	total := m.DF * PostingSize
-	if int64(byteOff) >= total {
-		return nil, fmt.Errorf("index: doc block offset %d outside %d-byte list: %w",
-			byteOff, total, storage.ErrOutOfRange)
-	}
-	n := int64(SkipInterval * PostingSize)
-	if total-int64(byteOff) < n {
-		n = total - int64(byteOff)
-	}
-	buf := make([]byte, n)
-	base := m.Offset + SkipTableBytes(m.DF)
-	if _, err := ix.dev.ReadAt(buf, base+int64(byteOff)); err != nil {
-		return nil, err
-	}
-	return DecodePostings(buf), nil
-}
-
-// encodeDocSection serializes a term's doc-sorted section into buf, which
-// must be exactly DocSectionBytes(len(postings)) long.
-func encodeDocSection(buf []byte, postings []workload.Posting) {
-	sorted := make([]workload.Posting, len(postings))
-	copy(sorted, postings)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Doc < sorted[j].Doc })
-
-	df := int64(len(sorted))
-	blocks := int((df + SkipInterval - 1) / SkipInterval)
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(blocks))
-	postingsBase := SkipTableBytes(df)
-	for b := 0; b < blocks; b++ {
-		first := sorted[b*SkipInterval].Doc
-		byteOff := uint32(b * SkipInterval * PostingSize)
-		binary.LittleEndian.PutUint32(buf[4+b*skipEntrySize:], first)
-		binary.LittleEndian.PutUint32(buf[4+b*skipEntrySize+4:], byteOff)
-	}
-	for i, p := range sorted {
-		EncodePosting(buf[postingsBase+int64(i)*PostingSize:], p)
-	}
+	_, err := ix.dev.ReadAt(p, m.Offset+off)
+	return err
 }

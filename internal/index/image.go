@@ -2,16 +2,17 @@ package index
 
 // Prebuilt index images.
 //
-// Synthesizing a collection's postings and doc-sorted sections is pure CPU
-// work that depends only on the CollectionSpec, yet every experiment point
-// used to redo it from scratch. An Image is that work done once: the fully
-// serialized index (header, directory, impact-ordered lists, doc-sorted
-// sections) held in memory, ready to be stamped onto any number of devices.
-// Stamping replays the exact write sequence Build has always issued —
-// header first, lists in flush-sized sequential chunks, then one write per
-// doc-sorted section — so a stamped system is indistinguishable, byte for
-// byte and simulated-op for simulated-op, from one that built its index
-// directly.
+// Synthesizing a collection's postings and encoding both payload regions is
+// pure CPU work that depends only on the (CollectionSpec, CodecID) pair,
+// yet every experiment point used to redo it from scratch. An Image is that
+// work done once: the fully serialized index (header, term directory,
+// block directory, impact-ordered payloads, doc-sorted payloads) held in
+// memory, ready to be stamped onto any number of devices. Stamping replays
+// the exact write sequence Build has always issued — header and
+// directories first, lists in flush-sized sequential chunks, then one
+// write per doc-sorted payload — so a stamped system is indistinguishable,
+// byte for byte and simulated-op for simulated-op, from one that built its
+// index directly.
 //
 // An Image is immutable after BuildImage returns and safe for concurrent
 // Stamp calls from multiple goroutines.
@@ -19,6 +20,7 @@ package index
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"hybridstore/internal/storage"
 	"hybridstore/internal/workload"
@@ -28,81 +30,120 @@ import (
 // during bulk load (Build's historical flush size).
 const buildFlushSize = 1 << 20
 
-// Image is a fully serialized index for one CollectionSpec, reusable
-// across devices.
+// Image is a fully serialized index for one (CollectionSpec, CodecID)
+// pair, reusable across devices.
 type Image struct {
-	spec     workload.CollectionSpec
-	data     []byte // header + directory + lists + doc-sorted sections
-	headLen  int64
-	listsEnd int64 // end of the impact-ordered list region
-	numDocs  int64
-	terms    []TermMeta
-	docTerms []DocMeta
+	spec       workload.CollectionSpec
+	codec      CodecID
+	data       []byte // header + directories + payloads
+	headLen    int64  // end of header + term dir + block dir
+	listsEnd   int64  // end of the impact-ordered payload region
+	numDocs    int64
+	terms      []TermMeta
+	docTerms   []TermMeta
+	listBlocks [][]BlockRef
+	docBlocks  [][]BlockRef
 }
 
 // Spec returns the collection the image serializes.
 func (im *Image) Spec() workload.CollectionSpec { return im.spec }
 
+// Codec returns the block encoding the image was built with.
+func (im *Image) Codec() CodecID { return im.codec }
+
 // Bytes returns the serialized size of the image.
 func (im *Image) Bytes() int64 { return int64(len(im.data)) }
 
 // BuildImage synthesizes the collection described by spec and serializes
-// its inverted index into memory.
-func BuildImage(spec workload.CollectionSpec) (*Image, error) {
+// its inverted index into memory under the given codec.
+func BuildImage(spec workload.CollectionSpec, codec CodecID) (*Image, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	terms := make([]TermMeta, spec.VocabSize)
-	docTerms := make([]DocMeta, spec.VocabSize)
-	off := int64(headerSize + dirEntrySize*spec.VocabSize)
-	headLen := off
-	for t := 0; t < spec.VocabSize; t++ {
-		df := int64(spec.DocFreq(workload.TermID(t)))
-		terms[t] = TermMeta{Offset: off, DF: df}
-		off += df * PostingSize
+	if !codec.Valid() {
+		return nil, fmt.Errorf("index: unknown codec %d", codec)
 	}
-	listsEnd := off
-	// Doc-sorted sections follow all impact-ordered lists.
-	for t := 0; t < spec.VocabSize; t++ {
-		docTerms[t] = DocMeta{Offset: off, DF: terms[t].DF}
-		off += DocSectionBytes(terms[t].DF)
+	v := spec.VocabSize
+	terms := make([]TermMeta, v)
+	docTerms := make([]TermMeta, v)
+	listBlocks := make([][]BlockRef, v)
+	docBlocks := make([][]BlockRef, v)
+
+	// Encode both payload regions; offsets are rebased once the directory
+	// sizes are known.
+	var listBuf, docBuf []byte
+	var sorted []workload.Posting
+	var totalRefs int64
+	for t := 0; t < v; t++ {
+		ps := spec.Postings(workload.TermID(t))
+		lOff := int64(len(listBuf))
+		listBuf, listBlocks[t] = EncodeList(listBuf, nil, codec, ps)
+		terms[t] = TermMeta{Offset: lOff, DF: int64(len(ps)), Size: int64(len(listBuf)) - lOff}
+
+		sorted = append(sorted[:0], ps...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Doc < sorted[j].Doc })
+		dOff := int64(len(docBuf))
+		docBuf, docBlocks[t] = EncodeList(docBuf, nil, codec, sorted)
+		docTerms[t] = TermMeta{Offset: dOff, DF: terms[t].DF, Size: int64(len(docBuf)) - dOff}
+		totalRefs += int64(len(listBlocks[t]) + len(docBlocks[t]))
 	}
 
-	data := make([]byte, off)
+	headLen := int64(headerSize+dirEntrySize*v) + totalRefs*blockRefSize
+	listsEnd := headLen + int64(len(listBuf))
+	for t := 0; t < v; t++ {
+		terms[t].Offset += headLen
+		docTerms[t].Offset += listsEnd
+	}
+
+	data := make([]byte, 0, listsEnd+int64(len(docBuf)))
+	data = data[:headerSize+dirEntrySize*v]
 	copy(data[0:4], magic[:])
-	binary.LittleEndian.PutUint32(data[4:8], 2)
-	binary.LittleEndian.PutUint64(data[8:16], uint64(spec.VocabSize))
+	binary.LittleEndian.PutUint32(data[4:8], indexVersion)
+	binary.LittleEndian.PutUint64(data[8:16], uint64(v))
 	binary.LittleEndian.PutUint64(data[16:24], uint64(spec.NumDocs))
-	for t, m := range terms {
+	binary.LittleEndian.PutUint32(data[24:28], uint32(codec))
+	for t := 0; t < v; t++ {
 		base := headerSize + t*dirEntrySize
-		binary.LittleEndian.PutUint64(data[base:base+8], uint64(m.Offset))
-		binary.LittleEndian.PutUint64(data[base+8:base+16], uint64(m.DF))
-		binary.LittleEndian.PutUint64(data[base+16:base+24], uint64(docTerms[t].Offset))
+		binary.LittleEndian.PutUint64(data[base:base+8], uint64(terms[t].Offset))
+		binary.LittleEndian.PutUint64(data[base+8:base+16], uint64(terms[t].DF))
+		binary.LittleEndian.PutUint64(data[base+16:base+24], uint64(terms[t].Size))
+		binary.LittleEndian.PutUint64(data[base+24:base+32], uint64(docTerms[t].Offset))
+		binary.LittleEndian.PutUint64(data[base+32:base+40], uint64(docTerms[t].Size))
 	}
-	for t := 0; t < spec.VocabSize; t++ {
-		postings := spec.Postings(workload.TermID(t))
-		buf := data[terms[t].Offset:]
-		for i, p := range postings {
-			EncodePosting(buf[i*PostingSize:], p)
+	var refB [blockRefSize]byte
+	appendRefs := func(refs []BlockRef) {
+		for _, r := range refs {
+			binary.LittleEndian.PutUint32(refB[0:4], r.MaxDoc)
+			binary.LittleEndian.PutUint32(refB[4:8], r.Off)
+			binary.LittleEndian.PutUint32(refB[8:12], r.Count)
+			data = append(data, refB[:]...)
 		}
-		end := docTerms[t].Offset + DocSectionBytes(terms[t].DF)
-		encodeDocSection(data[docTerms[t].Offset:end], postings)
 	}
+	for t := 0; t < v; t++ {
+		appendRefs(listBlocks[t])
+		appendRefs(docBlocks[t])
+	}
+	data = append(data, listBuf...)
+	data = append(data, docBuf...)
+
 	return &Image{
-		spec:     spec,
-		data:     data,
-		headLen:  headLen,
-		listsEnd: listsEnd,
-		numDocs:  int64(spec.NumDocs),
-		terms:    terms,
-		docTerms: docTerms,
+		spec:       spec,
+		codec:      codec,
+		data:       data,
+		headLen:    headLen,
+		listsEnd:   listsEnd,
+		numDocs:    int64(spec.NumDocs),
+		terms:      terms,
+		docTerms:   docTerms,
+		listBlocks: listBlocks,
+		docBlocks:  docBlocks,
 	}, nil
 }
 
 // Stamp writes the image onto dev and returns the opened index, charging
 // the same simulated write operations a direct Build would: the header and
-// directory first, the list region in flush-sized sequential chunks, then
-// each doc-sorted section in one write.
+// directories first, the list region in flush-sized sequential chunks,
+// then each doc-sorted payload in one write.
 func (im *Image) Stamp(dev storage.Device) (*Index, error) {
 	if im.Bytes() > dev.Size() {
 		return nil, fmt.Errorf("index: needs %d bytes, device %q holds %d",
@@ -122,11 +163,18 @@ func (im *Image) Stamp(dev storage.Device) (*Index, error) {
 		off += n
 	}
 	for t := range im.docTerms {
+		if im.docTerms[t].Size == 0 {
+			continue
+		}
 		off := im.docTerms[t].Offset
-		end := off + DocSectionBytes(im.terms[t].DF)
+		end := off + im.docTerms[t].Size
 		if _, err := dev.WriteAt(im.data[off:end], off); err != nil {
-			return nil, fmt.Errorf("index: writing doc-sorted section: %w", err)
+			return nil, fmt.Errorf("index: writing doc-sorted payload: %w", err)
 		}
 	}
-	return &Index{dev: dev, numDocs: im.numDocs, terms: im.terms, docTerms: im.docTerms}, nil
+	return &Index{
+		dev: dev, codec: im.codec, numDocs: im.numDocs, size: im.Bytes(),
+		terms: im.terms, docTerms: im.docTerms,
+		listBlocks: im.listBlocks, docBlocks: im.docBlocks,
+	}, nil
 }

@@ -24,7 +24,7 @@ func TestStampMatchesBuild(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	img, err := BuildImage(spec)
+	img, err := BuildImage(spec, CodecRaw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestStampMatchesBuild(t *testing.T) {
 
 func TestImageBytesMatchesRequired(t *testing.T) {
 	spec := testSpec()
-	img, err := BuildImage(spec)
+	img, err := BuildImage(spec, CodecRaw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestImageBytesMatchesRequired(t *testing.T) {
 
 func TestStampDeviceTooSmall(t *testing.T) {
 	spec := testSpec()
-	img, err := BuildImage(spec)
+	img, err := BuildImage(spec, CodecRaw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestStampDeviceTooSmall(t *testing.T) {
 func TestBuildImageRejectsInvalidSpec(t *testing.T) {
 	spec := testSpec()
 	spec.NumDocs = 0
-	if _, err := BuildImage(spec); err == nil {
+	if _, err := BuildImage(spec, CodecRaw); err == nil {
 		t.Fatal("expected validation error for zero-doc spec")
 	}
 }

@@ -42,8 +42,8 @@ func TestPostingCodecRoundTrip(t *testing.T) {
 func TestDecodePostings(t *testing.T) {
 	buf := make([]byte, 3*PostingSize+5) // trailing partial posting ignored
 	EncodePosting(buf[0:], workload.Posting{Doc: 1, TF: 10})
-	EncodePosting(buf[8:], workload.Posting{Doc: 2, TF: 9})
-	EncodePosting(buf[16:], workload.Posting{Doc: 3, TF: 8})
+	EncodePosting(buf[PostingSize:], workload.Posting{Doc: 2, TF: 9})
+	EncodePosting(buf[2*PostingSize:], workload.Posting{Doc: 3, TF: 8})
 	ps := DecodePostings(buf)
 	if len(ps) != 3 || ps[0].Doc != 1 || ps[2].TF != 8 {
 		t.Fatalf("decoded %+v", ps)
@@ -190,13 +190,13 @@ func TestRequiredBytesMatchesLayout(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build on exactly-sized device failed: %v", err)
 	}
-	lastDoc, ok := ix.DocMeta(workload.TermID(spec.VocabSize - 1))
-	if !ok {
-		t.Fatal("doc-sorted section missing")
-	}
-	end := lastDoc.Offset + DocSectionBytes(lastDoc.DF)
+	lastDoc := ix.DocMeta(workload.TermID(spec.VocabSize - 1))
+	end := lastDoc.Offset + lastDoc.Size
 	if end != want {
 		t.Fatalf("layout end %d != RequiredBytes %d", end, want)
+	}
+	if ix.SizeBytes() != want {
+		t.Fatalf("SizeBytes %d != RequiredBytes %d", ix.SizeBytes(), want)
 	}
 }
 

@@ -3,12 +3,17 @@
 #
 # Times the full experiment suite serially (-jobs 1) and on all CPUs
 # (-jobs $(nproc)), verifies the two stdout streams are byte-identical,
-# runs the tier-1 engine/index micro-benchmarks with -benchmem, and writes
-# the whole record to BENCH_pr${PR}.json, extending the perf trajectory
-# (BENCH_pr2.json was the first point).
+# runs the tier-1 engine/index micro-benchmarks with -benchmem, runs the
+# codec matrix (table1 under raw and gvarint on every workload scale in the
+# matrix) verifying the compressed index is strictly smaller on device and
+# query results are byte-identical across codecs (timing/occupancy rows are
+# byte-denominated and may differ), and writes the whole record
+# to BENCH_pr${PR}.json, extending the perf trajectory (BENCH_pr2.json was
+# the first point). Fails hard if BenchmarkEngineExecute exceeds 8
+# allocs/op (the PR 2 zero-copy budget).
 #
 # Environment:
-#   PR       PR number stamped into the record (default: 6)
+#   PR       PR number stamped into the record (default: 7)
 #   SCALE    suite scale to time (default: small; full takes much longer)
 #   JOBS     parallel job count (default: nproc)
 #   OUT      output JSON path (default: BENCH_pr${PR}.json in the repo root)
@@ -19,7 +24,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PR="${PR:-6}"
+PR="${PR:-7}"
 SCALE="${SCALE:-small}"
 JOBS="${JOBS:-$(nproc)}"
 OUT="${OUT:-BENCH_pr${PR}.json}"
@@ -74,6 +79,63 @@ BUILD_NS=$(bench_field BenchmarkIndexBuild ns/op)
 BUILD_ALLOCS=$(bench_field BenchmarkIndexBuild allocs/op)
 BUILD_BYTES=$(bench_field BenchmarkIndexBuild B/op)
 
+if [ "${ENGINE_ALLOCS%.*}" -gt 8 ]; then
+    echo "FATAL: BenchmarkEngineExecute allocs/op = $ENGINE_ALLOCS exceeds budget of 8" >&2
+    exit 1
+fi
+echo "== engine allocs/op = $ENGINE_ALLOCS (budget 8)" >&2
+
+echo "== codec matrix: table1 under raw and gvarint" >&2
+index_bytes() { # index_bytes <outfile>
+    awk '/^index bytes on device:/ { print $5; exit }' "$1"
+}
+CODEC_MATRIX="["
+first=1
+for codec in raw gvarint; do
+    for mscale in small full; do
+        [ "$mscale" = full ] && [ "$SCALE" != full ] && continue
+        "$WORK/hybridbench" -exp table1 -scale "$mscale" -jobs "$JOBS" -codec "$codec" \
+            >"$WORK/table1_${codec}_${mscale}.txt" 2>/dev/null
+        bytes=$(index_bytes "$WORK/table1_${codec}_${mscale}.txt")
+        echo "   $codec/$mscale: index bytes on device = $bytes" >&2
+        [ $first -eq 0 ] && CODEC_MATRIX="$CODEC_MATRIX,"
+        CODEC_MATRIX="$CODEC_MATRIX
+    {\"codec\": \"$codec\", \"scale\": \"$mscale\", \"index_bytes\": $bytes}"
+        first=0
+    done
+done
+CODEC_MATRIX="$CODEC_MATRIX
+  ]"
+for mscale in small full; do
+    [ "$mscale" = full ] && [ "$SCALE" != full ] && continue
+    RAW_BYTES=$(index_bytes "$WORK/table1_raw_${mscale}.txt")
+    GV_BYTES=$(index_bytes "$WORK/table1_gvarint_${mscale}.txt")
+    if [ "$GV_BYTES" -ge "$RAW_BYTES" ]; then
+        echo "FATAL: gvarint index ($GV_BYTES B) not smaller than raw ($RAW_BYTES B) at scale $mscale" >&2
+        exit 1
+    fi
+    # The situation mix (P_i, T_i) is byte-denominated — compressed lists
+    # shift cache occupancy, so those rows legitimately differ between
+    # codecs. The query-count line must still agree.
+    if ! diff <(grep '^queries classified:' "$WORK/table1_raw_${mscale}.txt") \
+              <(grep '^queries classified:' "$WORK/table1_gvarint_${mscale}.txt") >/dev/null; then
+        echo "FATAL: table1 query counts diverge between codecs at scale $mscale" >&2
+        exit 1
+    fi
+done
+# Query-result identity across codecs (docs, scores, posting counts — the
+# actual contract; timing/occupancy may differ) is checked exhaustively by
+# the dedicated tests, across all cache modes.
+if ! go test -count=1 -run 'TestExecuteIdenticalAcrossCodecs' ./internal/engine >/dev/null 2>&1; then
+    echo "FATAL: TestExecuteIdenticalAcrossCodecs failed" >&2
+    exit 1
+fi
+if ! go test -count=1 -run 'TestResultsIdenticalAcrossCodecs' . >/dev/null 2>&1; then
+    echo "FATAL: TestResultsIdenticalAcrossCodecs failed" >&2
+    exit 1
+fi
+echo "== gvarint strictly smaller on device, results codec-invariant" >&2
+
 SPEEDUP=$(awk -v s="$SERIAL_S" -v p="$PARALLEL_S" 'BEGIN{printf "%.2f", s/p}')
 
 baseline_json() { # baseline_json <ns_var> <allocs_var>
@@ -114,7 +176,8 @@ cat >"$OUT" <<EOF
       "ns_op": $BUILD_NS, "bytes_op": $BUILD_BYTES, "allocs_op": $BUILD_ALLOCS,
       "baseline": $(baseline_json BASELINE_BUILD_NS BASELINE_BUILD_ALLOCS)
     }
-  }
+  },
+  "codec_matrix": $CODEC_MATRIX
 }
 EOF
 
