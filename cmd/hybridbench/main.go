@@ -81,8 +81,21 @@ func resolveScale(name string) (experiments.Scale, error) {
 	}
 }
 
+// validIDs renders every registered experiment ID, in paper order, for
+// error messages.
+func validIDs() string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return strings.Join(ids, ", ")
+}
+
 // resolveTargets maps the -exp flag to experiments, in paper order for
-// "all" and in the given order for a comma-separated list.
+// "all" and in the given order for a comma-separated list. Every ID is
+// validated against the experiment registry up front, so a typo fails
+// immediately with the full list of valid names instead of surfacing
+// mid-suite.
 func resolveTargets(expFlag string) ([]experiments.Experiment, error) {
 	if expFlag == "all" {
 		return experiments.All(), nil
@@ -91,16 +104,16 @@ func resolveTargets(expFlag string) ([]experiments.Experiment, error) {
 	for _, id := range strings.Split(expFlag, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
-			return nil, fmt.Errorf("empty experiment ID in -exp %q; use -list for valid IDs", expFlag)
+			return nil, fmt.Errorf("empty experiment ID in -exp %q; use -list for details, or one of: %s", expFlag, validIDs())
 		}
 		e, ok := experiments.ByID(id)
 		if !ok {
-			return nil, fmt.Errorf("unknown experiment %q; use -list for valid IDs", id)
+			return nil, fmt.Errorf("unknown experiment %q; use -list for details, or one of: %s", id, validIDs())
 		}
 		targets = append(targets, e)
 	}
 	if len(targets) == 0 {
-		return nil, fmt.Errorf("no experiments selected by -exp %q; use -list for valid IDs", expFlag)
+		return nil, fmt.Errorf("no experiments selected by -exp %q; use -list for details, or one of: %s", expFlag, validIDs())
 	}
 	return targets, nil
 }

@@ -39,6 +39,14 @@ func TestResolveTargets(t *testing.T) {
 			t.Fatalf("bad -exp %q accepted", bad)
 		} else if !strings.Contains(err.Error(), "-list") {
 			t.Fatalf("error for %q does not point at -list: %v", bad, err)
+		} else {
+			// The error must enumerate the registry so the user can fix
+			// the typo without another round trip.
+			for _, id := range []string{"fig17", "serving", "faults"} {
+				if !strings.Contains(err.Error(), id) {
+					t.Fatalf("error for %q does not list valid ID %q: %v", bad, id, err)
+				}
+			}
 		}
 	}
 }

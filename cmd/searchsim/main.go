@@ -12,6 +12,8 @@
 //	searchsim -aol user-ct-test.txt               # replay a real AOL log
 //	searchsim -trace run.ndjson -metrics-every 1000  # per-query traces + live metrics
 //	searchsim -json report.json                   # machine-readable final report
+//	searchsim -serve -shards 4 -rate 200          # open-loop concurrent serving
+//	searchsim -serve -shards 2 -burst-every 30s   # with periodic flash crowds
 package main
 
 import (
@@ -20,12 +22,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	hybrid "hybridstore"
 	"hybridstore/internal/core"
 	"hybridstore/internal/engine"
 	"hybridstore/internal/index"
 	"hybridstore/internal/obs"
+	"hybridstore/internal/serve"
 	"hybridstore/internal/workload"
 )
 
@@ -50,6 +54,14 @@ func main() {
 		metricsEvery = flag.Int("metrics-every", 0, "print a live metrics line every N queries (0 = off)")
 		jsonFile     = flag.String("json", "", "write the machine-readable JSON report to this file ('-' = stdout)")
 		profileFile  = flag.String("profile", "", "write the simulated-time latency profile as gzipped pprof to this file (plus folded stacks to <file>.folded)")
+
+		serveMode   = flag.Bool("serve", false, "concurrent serving mode: open-loop arrivals across -shards cache partitions with singleflight coalescing")
+		shards      = flag.Int("shards", 2, "serve: number of cache shards (cache budgets are split across them)")
+		rate        = flag.Float64("rate", 0, "serve: offered load in queries/simulated-second (0 = 1.5x the calibrated single-shard capacity)")
+		serveWarm   = flag.Int("serve-warm", 1000, "serve: closed-loop warm queries before the open-loop run")
+		hotWarm     = flag.Int("hot-warm", 32, "serve: per-shard hottest queries re-executed after warm (frequency-ranked warming)")
+		burstEvery  = flag.Duration("burst-every", 0, "serve: inject a flash crowd every this much simulated time (0 = off)")
+		burstFactor = flag.Float64("burst-factor", 4, "serve: arrival-rate multiplier during a flash crowd")
 	)
 	flag.Parse()
 
@@ -98,7 +110,7 @@ func main() {
 	engCfg := engine.DefaultConfig()
 	engCfg.TerminationFrac = 0.35
 
-	sys, err := hybrid.New(hybrid.Config{
+	baseCfg := hybrid.Config{
 		Collection: collection,
 		QueryLog:   workload.DefaultQueryLog(collection.VocabSize),
 		Cache:      cacheCfg,
@@ -108,7 +120,28 @@ func main() {
 		Engine:     engCfg,
 		UseModelPU: true,
 		CacheFTL:   ftl,
-	})
+	}
+
+	if *serveMode {
+		if *aolFile != "" {
+			fmt.Fprintln(os.Stderr, "-serve does not support -aol replay")
+			os.Exit(2)
+		}
+		runServe(baseCfg, serveOptions{
+			queries:     *queries,
+			shards:      *shards,
+			rate:        *rate,
+			warm:        *serveWarm,
+			hotWarm:     *hotWarm,
+			burstEvery:  *burstEvery,
+			burstFactor: *burstFactor,
+			traceFile:   *traceFile,
+			profileFile: *profileFile,
+		})
+		return
+	}
+
+	sys, err := hybrid.New(baseCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -252,6 +285,140 @@ func main() {
 		if *jsonFile != "-" {
 			fmt.Printf("wrote JSON report to %s\n", *jsonFile)
 		}
+	}
+}
+
+// serveOptions carries the -serve flag set.
+type serveOptions struct {
+	queries     int
+	shards      int
+	rate        float64
+	warm        int
+	hotWarm     int
+	burstEvery  time.Duration
+	burstFactor float64
+	traceFile   string
+	profileFile string
+}
+
+// runServe drives the concurrent serving layer: open-loop Poisson arrivals
+// (with optional flash crowds) across opt.shards cache partitions, with
+// identical in-flight queries coalesced singleflight-style. It prints the
+// pool's throughput/tail-latency summary plus a per-shard breakdown.
+func runServe(base hybrid.Config, opt serveOptions) {
+	rate := opt.rate
+	if rate <= 0 {
+		mu, err := serve.CalibrateQPS(base, opt.warm, opt.queries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rate = 1.5 * mu
+		fmt.Printf("calibrated single-shard capacity mu=%.1f q/s; offering 1.5x = %.1f q/s\n", mu, rate)
+	}
+	spec := workload.DefaultArrivals(rate)
+	if opt.burstEvery > 0 {
+		spec.BurstEvery = opt.burstEvery
+		spec.BurstDuration = opt.burstEvery / 5
+		spec.BurstFactor = opt.burstFactor
+	}
+
+	obsOpts := obs.Options{}
+	var traceF *os.File
+	var traceW *bufio.Writer
+	if opt.traceFile != "" {
+		var err error
+		traceF, err = os.Create(opt.traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceW = bufio.NewWriterSize(traceF, 1<<20)
+		obsOpts.TraceOut = traceW
+	}
+	observer := obs.New(obsOpts)
+
+	pool, err := serve.New(serve.Config{
+		Base:        base,
+		Shards:      opt.shards,
+		Arrivals:    spec,
+		WarmQueries: opt.warm,
+		HotWarm:     opt.hotWarm,
+		Observer:    observer,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := pool.Warm(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := pool.Run(opt.queries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(r.String())
+	fmt.Printf("arrivals=%d executed=%d coalesced=%d horizon=%v makespan=%v backlog_drain=%v\n",
+		r.Arrivals, r.Executed, r.Coalesced,
+		r.Horizon.Round(time.Millisecond), r.Makespan.Round(time.Millisecond),
+		(r.Makespan - r.Horizon).Round(time.Millisecond))
+	fmt.Printf("latency: mean=%v p50=%v p99=%v p999=%v total_queue_wait=%v\n",
+		r.MeanLatency().Round(time.Microsecond), r.P50().Round(time.Microsecond),
+		r.P99().Round(time.Microsecond), r.P999().Round(time.Microsecond),
+		r.QueueWait.Round(time.Millisecond))
+	for i := 0; i < pool.Shards(); i++ {
+		sys := pool.System(i)
+		if sys.Manager == nil {
+			continue
+		}
+		st := sys.Manager.Stats()
+		fmt.Printf("shard %d: queries=%d RC=%.3f IC=%.3f RIC=%.3f\n",
+			i, st.Queries, st.ResultHitRatio(), st.ListHitRatio(), st.CombinedHitRatio())
+	}
+
+	if traceW != nil {
+		if err := traceW.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := traceF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := observer.Tracer.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace stream: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace records to %s\n", observer.Tracer.Completed(), opt.traceFile)
+	}
+	if opt.profileFile != "" {
+		prof := obs.NewProfile()
+		pool.MergeProfile(prof)
+		f, err := os.Create(opt.profileFile)
+		if err == nil {
+			err = prof.WritePprof(f, "query")
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err == nil {
+			var g *os.File
+			g, err = os.Create(opt.profileFile + ".folded")
+			if err == nil {
+				err = prof.WriteFolded(g, "query")
+				if cerr := g.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote latency profile to %s (+ %s.folded)\n", opt.profileFile, opt.profileFile)
 	}
 }
 

@@ -169,7 +169,11 @@ func runSummary(args []string) error {
 	for _, row := range rows {
 		fmt.Fprintf(w, "%-18s n=%-7d total_ns=%-14d", row.Situation, row.Queries, row.ElapsedNS)
 		for c, v := range row.Attrib {
-			if v == 0 {
+			// queue_wait prints even at zero: the serving layer's
+			// saturation signal should be visible (as its absence) at a
+			// glance, not hidden by the zero-elision the other components
+			// get.
+			if v == 0 && simclock.Component(c) != simclock.CompQueueWait {
 				continue
 			}
 			fmt.Fprintf(w, " %s=%d(%.1f%%)", simclock.Component(c), v,

@@ -336,17 +336,33 @@ type SearchInfo struct {
 // lookup, query execution on miss, result caching, situation accounting.
 // With observability enabled it also brackets the query with a trace.
 func (s *System) Search(q workload.Query) (*engine.Result, SearchInfo, error) {
+	return s.ServeAfterWait(q, 0)
+}
+
+// ServeAfterWait is Search for the serving layer: the query spent wait
+// queued behind other work before the hierarchy could start on it. The
+// wait is charged to the query on this system's clock under the
+// queue_wait attribution component, so Elapsed (and the trace's attrib
+// map) covers queueing delay plus service time exactly. Search is
+// ServeAfterWait with zero wait.
+func (s *System) ServeAfterWait(q workload.Query, wait time.Duration) (*engine.Result, SearchInfo, error) {
 	if s.obs == nil {
-		return s.search(q)
+		return s.search(q, wait)
 	}
 	s.obs.BeginQuery(q.ID, s.Clock.Now())
-	res, info, err := s.search(q)
+	res, info, err := s.search(q, wait)
 	s.obs.EndQuery(s.Clock.Now(), info.Elapsed)
 	return res, info, err
 }
 
-func (s *System) search(q workload.Query) (*engine.Result, SearchInfo, error) {
+func (s *System) search(q workload.Query, wait time.Duration) (*engine.Result, SearchInfo, error) {
 	sw := simclock.StartStopwatch(s.Clock)
+	if wait > 0 {
+		s.Clock.AdvanceAttr(wait, simclock.CompQueueWait)
+		if s.obs != nil {
+			s.obs.Tracer.QueueWait()
+		}
+	}
 	if s.Manager == nil {
 		res, stats, err := s.Engine.Execute(q)
 		return res, SearchInfo{Elapsed: sw.Elapsed(), BytesRead: stats.BytesRead}, err

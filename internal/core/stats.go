@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"hybridstore/internal/workload"
@@ -356,3 +357,28 @@ func (m *Manager) TermFrequency(t workload.TermID) int64 { return m.termFreq[t] 
 
 // QueryFrequency returns the recorded lookup count for query qid.
 func (m *Manager) QueryFrequency(qid uint64) int64 { return m.queryFreq[qid] }
+
+// HotQueries returns up to k query IDs ranked by recorded lookup
+// frequency, hottest first (ties broken by ascending qid so the ranking
+// is deterministic). The serving layer uses it to seed a frequency-ranked
+// warming pass from the query-frequency sketch a warm run accumulated.
+func (m *Manager) HotQueries(k int) []uint64 {
+	if k <= 0 || len(m.queryFreq) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(m.queryFreq))
+	for qid := range m.queryFreq {
+		ids = append(ids, qid)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		fi, fj := m.queryFreq[ids[i]], m.queryFreq[ids[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return ids[i] < ids[j]
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}

@@ -243,6 +243,24 @@ func (o *Observer) EndQuery(now, elapsed time.Duration) QueryTrace {
 	return tr
 }
 
+// CoalescedQuery synthesizes the complete trace of a singleflight
+// follower: a query that arrived while an identical query was in flight
+// and was served by the leader's result without executing. Its entire
+// latency (leader completion minus follower arrival) is queue_wait, so the
+// attribution contract Attrib.Sum() == ElapsedNS holds by construction.
+// The trace opens and closes in one synchronous step because the Tracer
+// holds at most one open trace and the shard's real queries own it between
+// their own Begin/End. now is the checkpoint timestamp and must be
+// monotone per Observer — serving callers pass the shard clock's Now, not
+// the arrival-timeline completion instant.
+func (o *Observer) CoalescedQuery(qid uint64, start, wait, now time.Duration) QueryTrace {
+	o.BeginQuery(qid, start)
+	o.Tracer.AddTime(simclock.CompQueueWait, wait)
+	o.Tracer.QueueWait()
+	o.Tracer.SetSituation("coalesced")
+	return o.EndQuery(now, wait)
+}
+
 // Queries returns the number of completed queries observed.
 func (o *Observer) Queries() int64 {
 	o.mu.Lock()
@@ -276,6 +294,7 @@ func histSnapshot(h *metrics.Histogram) HistogramSnapshot {
 		P50:   h.Quantile(50),
 		P95:   h.Quantile(95),
 		P99:   h.Quantile(99),
+		P999:  h.Quantile(99.9),
 	}
 }
 

@@ -224,6 +224,7 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
 }
 
 // SeriesPoint is one checkpointed sample for the JSON report.
@@ -273,6 +274,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 				P50:   h.Quantile(50),
 				P95:   h.Quantile(95),
 				P99:   h.Quantile(99),
+				P999:  h.Quantile(99.9),
 			}
 		case kindSeries:
 			r.mu.Lock()

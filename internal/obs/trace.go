@@ -21,7 +21,7 @@ import (
 // one storage level, a result-cache probe, a cache flush or an eviction.
 type Span struct {
 	// Kind is the step type: "list", "result", "flush_list", "flush_result",
-	// "evict_list", "evict_result".
+	// "evict_list", "evict_result", "queue_wait".
 	Kind string `json:"kind"`
 	// Term is the inverted-list term, for list-related spans.
 	Term int64 `json:"term,omitempty"`
@@ -250,6 +250,21 @@ func (t *Tracer) Evict(kind string, term int64, level string) {
 	}
 	t.cur.Evictions++
 	t.addSpan(Span{Kind: kind, Term: term, Level: level})
+}
+
+// QueueWait records serving-layer queue delay on the current trace: time
+// the query spent parked behind other work before (or instead of)
+// executing. The span absorbs pending attributed time like any other, so
+// the caller must have already routed the wait through AddTime (for
+// shard-clock advances that route is the OnAdvance hook; synthetic
+// coalesced traces call AddTime directly).
+func (t *Tracer) QueueWait() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur == nil {
+		return
+	}
+	t.addSpan(Span{Kind: "queue_wait"})
 }
 
 // HDDOp records one backing-store operation attributed to the current query.

@@ -30,6 +30,10 @@ const (
 	// CompCacheBookkeeping is cache-manager L1 access cost (memory probes
 	// and transfers).
 	CompCacheBookkeeping
+	// CompQueueWait is time a query spent queued behind other work before
+	// (or instead of) executing: shard-queue delay in the serving layer,
+	// and the whole latency of a coalesced (singleflight-follower) serve.
+	CompQueueWait
 
 	// NumComponents bounds arrays indexed by Component.
 	NumComponents
@@ -46,6 +50,7 @@ var componentNames = [NumComponents]string{
 	"ssd_erase_stall",
 	"cpu_intersect",
 	"cache_bookkeeping",
+	"queue_wait",
 }
 
 // String returns the component's stable wire name.

@@ -50,8 +50,8 @@ func (s *System) Report() string {
 	if s.obs != nil {
 		lat := s.obs.OverallLatency()
 		if lat.Count > 0 {
-			fmt.Fprintf(&sb, "latency (all queries): n=%d mean=%v p50=%v p95=%v p99=%v\n",
-				lat.Count, usDur(lat.Mean), usDur(lat.P50), usDur(lat.P95), usDur(lat.P99))
+			fmt.Fprintf(&sb, "latency (all queries): n=%d mean=%v p50=%v p95=%v p99=%v p999=%v\n",
+				lat.Count, usDur(lat.Mean), usDur(lat.P50), usDur(lat.P95), usDur(lat.P99), usDur(lat.P999))
 		}
 		if rows := s.obs.Profile().Rows(); len(rows) > 0 {
 			sb.WriteString("latency attribution:\n")

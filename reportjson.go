@@ -21,6 +21,7 @@ type SituationReport struct {
 	P50US  float64 `json:"p50_us,omitempty"`
 	P95US  float64 `json:"p95_us,omitempty"`
 	P99US  float64 `json:"p99_us,omitempty"`
+	P999US float64 `json:"p999_us,omitempty"`
 }
 
 // DeviceReport summarizes one device's counters for the JSON report.
@@ -148,7 +149,7 @@ func (s *System) BuildReport() *JSONReport {
 			}
 			if s.obs != nil && row.Count > 0 {
 				lat := s.obs.SituationLatency(row.Sit)
-				sr.P50US, sr.P95US, sr.P99US = lat.P50, lat.P95, lat.P99
+				sr.P50US, sr.P95US, sr.P99US, sr.P999US = lat.P50, lat.P95, lat.P99, lat.P999
 			}
 			r.Situations = append(r.Situations, sr)
 		}

@@ -7,13 +7,20 @@
 # codec matrix (table1 under raw and gvarint on every workload scale in the
 # matrix) verifying the compressed index is strictly smaller on device and
 # query results are byte-identical across codecs (timing/occupancy rows are
-# byte-denominated and may differ), and writes the whole record
-# to BENCH_pr${PR}.json, extending the perf trajectory (BENCH_pr2.json was
-# the first point). Fails hard if BenchmarkEngineExecute exceeds 8
-# allocs/op (the PR 2 zero-copy budget).
+# byte-denominated and may differ), extracts the serving shard x load
+# throughput/tail-latency matrix from the suite output, and writes the
+# whole record to BENCH_pr${PR}.json, extending the perf trajectory
+# (BENCH_pr2.json was the first point). Fails hard if
+# BenchmarkEngineExecute exceeds 8 allocs/op (the PR 2 zero-copy budget).
+#
+# Baselines: the microbench "baseline" objects and the suite pre-change
+# number are filled from the newest committed BENCH_pr*.json below the
+# current PR (the previous trajectory point); BASELINE_* environment
+# variables override. The parallel speedup is only reported on hosts with
+# more than one CPU -- on a single CPU the ratio is pure noise.
 #
 # Environment:
-#   PR       PR number stamped into the record (default: 7)
+#   PR       PR number stamped into the record (default: 8)
 #   SCALE    suite scale to time (default: small; full takes much longer)
 #   JOBS     parallel job count (default: nproc)
 #   OUT      output JSON path (default: BENCH_pr${PR}.json in the repo root)
@@ -24,12 +31,33 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PR="${PR:-7}"
+PR="${PR:-8}"
 SCALE="${SCALE:-small}"
 JOBS="${JOBS:-$(nproc)}"
 OUT="${OUT:-BENCH_pr${PR}.json}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
+
+# Newest committed trajectory point below the current PR supplies the
+# baseline numbers, unless BASELINE_* already set them.
+PREV_BENCH=""
+for f in $(ls BENCH_pr*.json 2>/dev/null | sort -t r -k 2 -n); do
+    n="${f#BENCH_pr}"; n="${n%.json}"
+    [ "$n" -lt "$PR" ] 2>/dev/null && PREV_BENCH="$f"
+done
+if [ -n "$PREV_BENCH" ]; then
+    echo "== baseline from $PREV_BENCH" >&2
+    prev_field() { jq -r "$1 // empty" "$PREV_BENCH" 2>/dev/null; }
+    : "${BASELINE_ENGINE_NS:=$(prev_field .microbench.engine_execute.ns_op)}"
+    : "${BASELINE_ENGINE_ALLOCS:=$(prev_field .microbench.engine_execute.allocs_op)}"
+    : "${BASELINE_E2E_NS:=$(prev_field .microbench.end_to_end_search.ns_op)}"
+    : "${BASELINE_E2E_ALLOCS:=$(prev_field .microbench.end_to_end_search.allocs_op)}"
+    : "${BASELINE_BUILD_NS:=$(prev_field .microbench.index_build.ns_op)}"
+    : "${BASELINE_BUILD_ALLOCS:=$(prev_field .microbench.index_build.allocs_op)}"
+    : "${BASELINE_SUITE_S:=$(prev_field .suite.serial_jobs1_seconds)}"
+else
+    echo "== no committed BENCH_pr*.json below PR $PR; baselines only from env" >&2
+fi
 
 echo "== building hybridbench" >&2
 go build -o "$WORK/hybridbench" ./cmd/hybridbench
@@ -136,7 +164,31 @@ if ! go test -count=1 -run 'TestResultsIdenticalAcrossCodecs' . >/dev/null 2>&1;
 fi
 echo "== gvarint strictly smaller on device, results codec-invariant" >&2
 
-SPEEDUP=$(awk -v s="$SERIAL_S" -v p="$PARALLEL_S" 'BEGIN{printf "%.2f", s/p}')
+# On a single CPU the serial/parallel ratio measures scheduler noise, not
+# parallelism; report it only when the host can run jobs concurrently.
+if [ "$(nproc)" -gt 1 ]; then
+    SPEEDUP=$(awk -v s="$SERIAL_S" -v p="$PARALLEL_S" 'BEGIN{printf "%.2f", s/p}')
+else
+    SPEEDUP=null
+fi
+
+# Serving matrix: the suite output already contains the serving sweep's
+# per-cell lines; fold them into JSON.
+SERVING_MU=$(awk '/^single-shard closed-loop capacity mu=/ { sub(/^.*mu=/,""); print $1; exit }' "$WORK/out_serial.txt")
+SERVING_MATRIX=$(awk '
+    /^shards=[0-9]+ load=/ {
+        for (i = 1; i <= NF; i++) if (split($i, a, "=") == 2) kv[a[1]] = a[2]
+        sub(/x$/, "", kv["load"])
+        printf "%s\n    {\"shards\": %s, \"load\": %s, \"offered_qps\": %s, \"tput_qps\": %s, \"coalesced\": %s, \"p50_us\": %s, \"p99_us\": %s, \"p999_us\": %s}", \
+            (found++ ? "," : ""), kv["shards"], kv["load"], kv["offered_qps"], \
+            kv["tput_qps"], kv["coalesced"], kv["p50_us"], kv["p99_us"], kv["p999_us"]
+        delete kv
+    }
+    END { print "" }' "$WORK/out_serial.txt")
+if [ -z "$SERVING_MU" ] || [ -z "$(printf %s "$SERVING_MATRIX" | tr -d "[:space:]")" ]; then
+    echo "FATAL: serving matrix missing from suite output" >&2
+    exit 1
+fi
 
 baseline_json() { # baseline_json <ns_var> <allocs_var>
     local ns="${!1:-}" allocs="${!2:-}"
@@ -177,9 +229,17 @@ cat >"$OUT" <<EOF
       "baseline": $(baseline_json BASELINE_BUILD_NS BASELINE_BUILD_ALLOCS)
     }
   },
-  "codec_matrix": $CODEC_MATRIX
+  "codec_matrix": $CODEC_MATRIX,
+  "serving": {
+    "scale": "$SCALE",
+    "single_shard_capacity_qps": $SERVING_MU,
+    "matrix": [$SERVING_MATRIX
+    ]
+  }
 }
 EOF
+
+jq -e . "$OUT" >/dev/null || { echo "FATAL: $OUT is not valid JSON" >&2; exit 1; }
 
 echo "== wrote $OUT" >&2
 cat "$OUT"
