@@ -41,11 +41,13 @@ func main() {
 		mem          = flag.Int64("mem", 3<<20, "memory cache bytes")
 		ssdRC        = flag.Int64("ssd-rc", 2<<20, "SSD result-cache region bytes")
 		ssdIC        = flag.Int64("ssd-ic", 24<<20, "SSD list-cache region bytes")
-		policyFlag   = flag.String("policy", "cbslru", "cache policy: lru, cblru, cbslru")
+		policyFlag   = flag.String("policy", "cbslru", "cache policy: "+strings.Join(core.RegisteredPolicyNames(), ", "))
 		modeFlag     = flag.String("mode", "twolevel", "cache mode: none, onelevel, twolevel")
 		indexFlag    = flag.String("index-on", "hdd", "index placement: hdd or ssd")
 		codecFlag    = flag.String("codec", "raw", "on-device posting codec: raw or gvarint")
 		ftlFlag      = flag.String("ftl", "pagemap", "cache SSD FTL: pagemap, blockmap, hybridlog")
+		hetero       = flag.Bool("hetero", false, "heterogeneous cache tier: fast SSD for results, slower dense SSD for lists")
+		heteroFactor = flag.Float64("hetero-factor", 0, "slow-tier latency multiplier for -hetero (0 = default 4)")
 		resultTTL    = flag.Duration("result-ttl", 0, "dynamic scenario: TTL for cached results (0 = static)")
 		listTTL      = flag.Duration("list-ttl", 0, "dynamic scenario: TTL for cached lists (0 = static)")
 		aolFile      = flag.String("aol", "", "replay queries from an AOL-format log file instead of the synthetic stream")
@@ -65,7 +67,7 @@ func main() {
 	)
 	flag.Parse()
 
-	policy, err := parsePolicy(*policyFlag)
+	policy, err := core.ParsePolicy(*policyFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -120,6 +122,9 @@ func main() {
 		Engine:     engCfg,
 		UseModelPU: true,
 		CacheFTL:   ftl,
+
+		HeteroCacheTier:  *hetero,
+		HeteroSlowFactor: *heteroFactor,
 	}
 
 	if *serveMode {
@@ -188,7 +193,7 @@ func main() {
 		fmt.Printf("replaying %d queries from %s (cycling to %d)\n", len(qs), *aolFile, *queries)
 	}
 
-	if policy == core.PolicyCBSLRU && mode == hybrid.CacheTwoLevel {
+	if sys.Manager != nil && sys.Manager.UsesStaticPartition() {
 		ws, err := sys.WarmupStatic(*queries)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -419,19 +424,6 @@ func runServe(base hybrid.Config, opt serveOptions) {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote latency profile to %s (+ %s.folded)\n", opt.profileFile, opt.profileFile)
-	}
-}
-
-func parsePolicy(s string) (core.Policy, error) {
-	switch strings.ToLower(s) {
-	case "lru":
-		return core.PolicyLRU, nil
-	case "cblru":
-		return core.PolicyCBLRU, nil
-	case "cbslru":
-		return core.PolicyCBSLRU, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (want lru, cblru, cbslru)", s)
 	}
 }
 

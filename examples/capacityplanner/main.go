@@ -55,14 +55,17 @@ func main() {
 	fmt.Fprintln(w, "configuration\tcost(m$)\tresp(ms)\tq/s\tRIC\tms per m$")
 	for _, m := range mixes {
 		cache := core.DefaultConfig(m.memBytes)
-		cache.Policy = core.PolicyCBSLRU
 		cache.TEV = 2
 		mode := hybrid.CacheOneLevel
 		if m.ssdBytes > 0 {
+			// The static partitions only exist on the SSD level, so the
+			// memory-only mixes run plain CBLRU (CBSLRU would be rejected).
+			cache.Policy = core.PolicyCBSLRU
 			mode = hybrid.CacheTwoLevel
 			cache.SSDResultBytes = m.ssdBytes / 8
 			cache.SSDListBytes = m.ssdBytes - cache.SSDResultBytes
 		} else {
+			cache.Policy = core.PolicyCBLRU
 			cache.SSDResultBytes, cache.SSDListBytes = 0, 0
 		}
 

@@ -21,6 +21,7 @@ package hybrid
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"hybridstore/internal/core"
@@ -34,11 +35,16 @@ import (
 	"hybridstore/internal/workload"
 )
 
-// Re-exported policy constants so callers need only this package.
+// Re-exported policy constants so callers need only this package. The
+// full registry (names, summaries, constraints) is core.Policies().
 const (
-	PolicyLRU    = core.PolicyLRU
-	PolicyCBLRU  = core.PolicyCBLRU
-	PolicyCBSLRU = core.PolicyCBSLRU
+	PolicyLRU     = core.PolicyLRU
+	PolicyCBLRU   = core.PolicyCBLRU
+	PolicyCBSLRU  = core.PolicyCBSLRU
+	PolicyTinyLFU = core.PolicyTinyLFU
+	PolicyARC     = core.PolicyARC
+	Policy2Q      = core.Policy2Q
+	PolicyBidi    = core.PolicyBidi
 )
 
 // IndexPlacement says which device stores the index files (Table I's
@@ -145,6 +151,18 @@ type Config struct {
 	// extents (see storage.FaultSpec). The zero value injects nothing.
 	// Only meaningful with Mode == CacheTwoLevel.
 	CacheFaults storage.FaultSpec
+	// HeteroCacheTier builds the cache SSD as a heterogeneous two-device
+	// tier (ECI-style): a small fast SSD holding the result region backed
+	// by a denser, slower SSD holding the list region and metadata. Only
+	// meaningful with Mode == CacheTwoLevel and the page-mapped FTL; both
+	// SSD regions must be configured. Wear splits per tier are available
+	// via System.CacheTiered.
+	HeteroCacheTier bool
+	// HeteroSlowFactor scales the slow tier's page-read, page-program and
+	// block-erase latencies relative to the paper's Table III device
+	// (which the fast tier uses unchanged). Zero selects the default (4),
+	// roughly a dense QLC drive against a fast SLC cache drive.
+	HeteroSlowFactor float64
 	// IndexImage, when non-nil, supplies a prebuilt serialized index for
 	// Collection: New stamps it onto the index device instead of
 	// re-synthesizing postings, which skips the CPU-heavy part of setup
@@ -208,9 +226,60 @@ type System struct {
 	obs       *obs.Observer // nil unless EnableObservability was called
 }
 
+// Validate reports configuration errors a System cannot be built from:
+// unknown enum values, and policy×mode pairings that would silently
+// misconfigure (a static-partition or bidirectional policy without an SSD
+// level, a heterogeneous tier without a two-level cache). New calls it
+// first, so CLIs and library users get identical rejections.
+func (c Config) Validate() error {
+	switch c.Mode {
+	case CacheNone, CacheOneLevel, CacheTwoLevel:
+	default:
+		return fmt.Errorf("hybrid: unknown cache mode %d", c.Mode)
+	}
+	switch c.IndexOn {
+	case IndexOnHDD, IndexOnSSD:
+	default:
+		return fmt.Errorf("hybrid: unknown index placement %d", c.IndexOn)
+	}
+	switch c.CacheFTL {
+	case FTLPageMap, FTLBlockMap, FTLHybridLog:
+	default:
+		return fmt.Errorf("hybrid: unknown cache FTL %d", c.CacheFTL)
+	}
+	if c.Mode != CacheNone {
+		if !c.Cache.Policy.Valid() {
+			return fmt.Errorf("hybrid: unknown cache policy %d (want %s)",
+				c.Cache.Policy, strings.Join(core.RegisteredPolicyNames(), ", "))
+		}
+		if c.Cache.Policy.RequiresTwoLevel() && c.Mode != CacheTwoLevel {
+			return fmt.Errorf("hybrid: policy %s requires a two-level cache (Mode = CacheTwoLevel)",
+				c.Cache.Policy)
+		}
+	}
+	if c.HeteroCacheTier {
+		if c.Mode != CacheTwoLevel {
+			return fmt.Errorf("hybrid: HeteroCacheTier requires Mode = CacheTwoLevel")
+		}
+		if c.CacheFTL != FTLPageMap {
+			return fmt.Errorf("hybrid: HeteroCacheTier requires the page-mapped cache FTL")
+		}
+		if c.Cache.SSDResultBytes <= 0 || c.Cache.SSDListBytes <= 0 {
+			return fmt.Errorf("hybrid: HeteroCacheTier needs both SSD cache regions configured")
+		}
+		if c.HeteroSlowFactor < 0 {
+			return fmt.Errorf("hybrid: negative HeteroSlowFactor %g", c.HeteroSlowFactor)
+		}
+	}
+	return nil
+}
+
 // New builds the system: devices sized to the index, the index bulk-loaded
 // onto its device, cache manager and engine wired to the shared clock.
 func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Collection.Validate(); err != nil {
 		return nil, err
 	}
@@ -288,12 +357,18 @@ func New(cfg Config) (*System, error) {
 			// flushes) onto the shared clock itself.
 			need := cacheCfg.SSDResultBytes + cacheCfg.SSDListBytes + (2 << 20)
 			params := flashsim.DefaultParams(need)
-			switch cfg.CacheFTL {
-			case FTLPageMap:
+			switch {
+			case cfg.HeteroCacheTier:
+				dev, err := buildHeteroCache(cacheCfg, cfg.HeteroSlowFactor)
+				if err != nil {
+					return nil, err
+				}
+				s.CacheSSD = dev
+			case cfg.CacheFTL == FTLPageMap:
 				s.CacheSSD = flashsim.New("cache-ssd", simclock.New(), params)
-			case FTLBlockMap:
+			case cfg.CacheFTL == FTLBlockMap:
 				s.CacheSSD = flashsim.NewBlockMapped("cache-ssd", simclock.New(), params)
-			case FTLHybridLog:
+			case cfg.CacheFTL == FTLHybridLog:
 				s.CacheSSD = flashsim.NewHybridLog("cache-ssd", simclock.New(), params)
 			default:
 				return nil, fmt.Errorf("hybrid: unknown cache FTL %d", cfg.CacheFTL)
@@ -318,6 +393,54 @@ func New(cfg Config) (*System, error) {
 
 	s.Log = workload.NewQueryLog(cfg.QueryLog)
 	return s, nil
+}
+
+// defaultHeteroSlowFactor is the slow tier's latency multiplier when
+// Config.HeteroSlowFactor is zero: roughly a dense QLC drive behind the
+// paper's Table III device.
+const defaultHeteroSlowFactor = 4.0
+
+// buildHeteroCache assembles the heterogeneous cache device: a fast SSD
+// sized to the (block-rounded) result region, backed by a slower dense SSD
+// holding the list region and the mapping-table metadata. Both tiers share
+// one private clock, mirroring the single-device cache wiring.
+func buildHeteroCache(cacheCfg core.Config, slowFactor float64) (*flashsim.Tiered, error) {
+	// Replicate the manager's region rounding (core fillDefaults) so the
+	// tier boundary lands exactly where the list region starts.
+	bb := cacheCfg.BlockBytes
+	if bb <= 0 {
+		bb = 128 << 10
+	}
+	resultBytes := (cacheCfg.SSDResultBytes + bb - 1) / bb * bb
+	listBytes := (cacheCfg.SSDListBytes + bb - 1) / bb * bb
+
+	fastParams := flashsim.DefaultParams(resultBytes)
+	flashBlock := int64(fastParams.PageSize * fastParams.PagesPerBlock)
+	boundary := (resultBytes + flashBlock - 1) / flashBlock * flashBlock
+
+	factor := slowFactor
+	if factor == 0 {
+		factor = defaultHeteroSlowFactor
+	}
+	slowParams := flashsim.DefaultParams(listBytes + (2 << 20))
+	slowParams.PageReadLatency = time.Duration(float64(slowParams.PageReadLatency) * factor)
+	slowParams.PageWriteLatency = time.Duration(float64(slowParams.PageWriteLatency) * factor)
+	slowParams.BlockEraseLatency = time.Duration(float64(slowParams.BlockEraseLatency) * factor)
+
+	tierClock := simclock.New()
+	fast := flashsim.New("cache-ssd-fast", tierClock, fastParams)
+	if fast.Size() != boundary {
+		return nil, fmt.Errorf("hybrid: hetero tier boundary %d != fast device size %d", boundary, fast.Size())
+	}
+	slow := flashsim.New("cache-ssd-slow", tierClock, slowParams)
+	return flashsim.NewTiered("cache-ssd", fast, slow, boundary), nil
+}
+
+// CacheTiered returns the heterogeneous cache device, or nil when the
+// system was built without Config.HeteroCacheTier.
+func (s *System) CacheTiered() *flashsim.Tiered {
+	t, _ := s.CacheSSD.(*flashsim.Tiered)
+	return t
 }
 
 // SearchInfo describes how one query was served.

@@ -504,4 +504,75 @@ func TestInvalidConfigsRejected(t *testing.T) {
 	if _, err := New(bad3); err == nil {
 		t.Fatal("bad placement accepted")
 	}
+	bad4 := smallConfig(core.Policy(42), CacheTwoLevel)
+	if _, err := New(bad4); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// Two-level-only policies must be rejected without an SSD level — the
+	// validation the searchsim CLI used to carry.
+	for _, p := range []core.Policy{core.PolicyCBSLRU, core.PolicyBidi} {
+		bad5 := smallConfig(p, CacheOneLevel)
+		if _, err := New(bad5); err == nil {
+			t.Fatalf("%v accepted without a two-level cache", p)
+		}
+	}
+	bad6 := smallConfig(core.PolicyCBLRU, CacheOneLevel)
+	bad6.HeteroCacheTier = true
+	if _, err := New(bad6); err == nil {
+		t.Fatal("hetero tier accepted without a two-level cache")
+	}
+	bad7 := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	bad7.HeteroCacheTier = true
+	bad7.CacheFTL = FTLBlockMap
+	if _, err := New(bad7); err == nil {
+		t.Fatal("hetero tier accepted on a non-page-mapped FTL")
+	}
+	bad8 := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	bad8.HeteroCacheTier = true
+	bad8.HeteroSlowFactor = -1
+	if _, err := New(bad8); err == nil {
+		t.Fatal("negative hetero slow factor accepted")
+	}
+}
+
+func TestHeteroTierSplitsWear(t *testing.T) {
+	cfg := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	cfg.HeteroCacheTier = true
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := sys.CacheTiered()
+	if tiered == nil {
+		t.Fatal("hetero system has no tiered cache device")
+	}
+	if _, err := sys.Run(1500); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := tiered.Fast().Wear(), tiered.Slow().Wear()
+	if fast.HostPagesWritten == 0 {
+		t.Fatal("no result traffic reached the fast tier")
+	}
+	if slow.HostPagesWritten == 0 {
+		t.Fatal("no list traffic reached the slow tier")
+	}
+	sum := tiered.Wear()
+	if sum.HostPagesWritten != fast.HostPagesWritten+slow.HostPagesWritten {
+		t.Fatalf("combined wear %d != fast %d + slow %d",
+			sum.HostPagesWritten, fast.HostPagesWritten, slow.HostPagesWritten)
+	}
+
+	// The tier composition must not change any caching decision: the same
+	// config on a homogeneous device yields identical manager stats.
+	homoCfg := smallConfig(core.PolicyCBLRU, CacheTwoLevel)
+	homo, err := New(homoCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := homo.Run(1500); err != nil {
+		t.Fatal(err)
+	}
+	if h, s := homo.Manager.Stats().CombinedHitRatio(), sys.Manager.Stats().CombinedHitRatio(); h != s {
+		t.Fatalf("hit ratio changed with tiering: homo %v hetero %v", h, s)
+	}
 }

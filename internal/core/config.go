@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"hybridstore/internal/workload"
@@ -30,25 +31,34 @@ const (
 	// PolicyCBSLRU adds a static partition holding the most efficient
 	// entries, populated by query-log analysis and exempt from replacement.
 	PolicyCBSLRU
+	// PolicyTinyLFU keeps CBLRU replacement but gates L2 admission on the
+	// decayed frequency sketches: one-hit wonders never reach the flash.
+	PolicyTinyLFU
+	// PolicyARC runs the adaptive replacement cache (T1/T2 + ghost B1/B2)
+	// over the L1 list cache, with the cost-based L2 machinery below.
+	PolicyARC
+	// Policy2Q runs the 2Q scheme (A1in/A1out/Am) over the L1 list cache,
+	// with the cost-based L2 machinery below.
+	Policy2Q
+	// PolicyBidi is the bidirectional cache filter: promotion from SSD to
+	// memory and demotion from memory to SSD both gated on repeat hits.
+	PolicyBidi
 )
 
-// String returns the paper's name for the policy.
+// String returns the policy's display name from the registry. The
+// formatted-integer fallback is unreachable for validated configurations:
+// Config.Validate rejects unregistered policy values up front.
 func (p Policy) String() string {
-	switch p {
-	case PolicyLRU:
-		return "LRU"
-	case PolicyCBLRU:
-		return "CBLRU"
-	case PolicyCBSLRU:
-		return "CBSLRU"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
+	if info, ok := lookupPolicy(p); ok {
+		return info.Display
 	}
+	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
 // Config sizes and tunes the cache hierarchy.
 type Config struct {
-	// Policy selects LRU, CBLRU or CBSLRU.
+	// Policy selects the replacement/admission policy pair; see the
+	// registry in policy.go (ParsePolicy, RegisteredPolicyNames).
 	Policy Policy
 
 	// MemResultBytes is the L1 result-cache capacity ("L1 RC").
@@ -196,8 +206,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MemListBytes = %d", c.MemListBytes)
 	case c.SSDResultBytes < 0 || c.SSDListBytes < 0:
 		return fmt.Errorf("core: negative SSD region")
-	case c.Policy != PolicyLRU && c.Policy != PolicyCBLRU && c.Policy != PolicyCBSLRU:
-		return fmt.Errorf("core: unknown policy %d", c.Policy)
+	case !c.Policy.Valid():
+		return fmt.Errorf("core: unknown policy %d (want %s)",
+			c.Policy, strings.Join(RegisteredPolicyNames(), ", "))
 	}
 	if c.SSDResultBytes > 0 && c.SSDResultBytes < c.BlockBytes {
 		return fmt.Errorf("core: SSD result region %d below one block", c.SSDResultBytes)

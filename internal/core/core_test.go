@@ -124,7 +124,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestReadListRangeCorrectAllPolicies(t *testing.T) {
-	for _, policy := range []Policy{PolicyLRU, PolicyCBLRU, PolicyCBSLRU} {
+	for _, policy := range allPolicies() {
 		t.Run(policy.String(), func(t *testing.T) {
 			f := newFixture(t, testConfig(policy))
 			for _, term := range []workload.TermID{0, 3, 50, 199} {
@@ -622,7 +622,7 @@ func TestSituationString(t *testing.T) {
 func TestListIntegrityProperty(t *testing.T) {
 	// Property: whatever the policy and access history, ReadListRange
 	// returns exactly the index's bytes.
-	for _, policy := range []Policy{PolicyLRU, PolicyCBLRU, PolicyCBSLRU} {
+	for _, policy := range allPolicies() {
 		cfg := testConfig(policy)
 		cfg.MemListBytes = 64 << 10 // heavy eviction churn
 		f := newFixture(t, cfg)

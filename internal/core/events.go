@@ -124,23 +124,25 @@ var statsEventPairs = map[string]EventKind{
 // each with the reason the omission is sound. The statsevent analyzer
 // requires every Stats field to appear in exactly one of the two tables.
 var statsUnpaired = map[string]string{
-	"ResultWritesElided":     "elision means nothing moved; the probe outcome was already evented",
-	"ResultsDropped":         "terminal loss accounting; the failed flush already emitted EvIOError",
-	"ResultsRequeued":        "retry bookkeeping; the triggering failure already emitted EvIOError",
-	"ResultsExpired":         "TTL bookkeeping folded into the probe outcome (hit/miss) event",
-	"ListsExpired":           "TTL bookkeeping folded into the read-path events",
-	"ListsDiscarded":         "terminal loss accounting; the failed device call already emitted EvIOError",
-	"ListWritesElided":       "elision means nothing moved; no bytes to attribute",
-	"ListRequests":           "per-term demand folded at EndQuery; traffic is evented per level as EvListRead",
-	"ListHits":               "per-term demand folded at EndQuery; traffic is evented per level as EvListRead",
-	"ListBytesRequested":     "demand-side counter; served bytes are evented per level as EvListRead",
-	"ListBytesPrefetched":    "readahead beyond the request; the SSD write is evented as EvListFlush",
-	"ListOverwritesInPlace":  "placement detail of a flush that already emitted EvListFlush",
-	"ListPlacementWorstCase": "placement detail of a flush that already emitted EvListFlush",
-	"ListsTooLargeForL1":     "admission decision; no cache state changed",
-	"ExtentsQuarantined":     "capacity retirement; the triggering failure already emitted EvIOError",
-	"QuarantinedBytes":       "capacity retirement; the triggering failure already emitted EvIOError",
-	"BreakerTrips":           "breaker state change; each contributing failure already emitted EvIOError",
+	"ResultWritesElided":         "elision means nothing moved; the probe outcome was already evented",
+	"ResultsDropped":             "terminal loss accounting; the failed flush already emitted EvIOError",
+	"ResultsRequeued":            "retry bookkeeping; the triggering failure already emitted EvIOError",
+	"ResultsExpired":             "TTL bookkeeping folded into the probe outcome (hit/miss) event",
+	"ListsExpired":               "TTL bookkeeping folded into the read-path events",
+	"ListsDiscarded":             "terminal loss accounting; the failed device call already emitted EvIOError",
+	"ListWritesElided":           "elision means nothing moved; no bytes to attribute",
+	"ListRequests":               "per-term demand folded at EndQuery; traffic is evented per level as EvListRead",
+	"ListHits":                   "per-term demand folded at EndQuery; traffic is evented per level as EvListRead",
+	"ListBytesRequested":         "demand-side counter; served bytes are evented per level as EvListRead",
+	"ListBytesPrefetched":        "readahead beyond the request; the SSD write is evented as EvListFlush",
+	"ListOverwritesInPlace":      "placement detail of a flush that already emitted EvListFlush",
+	"ListPlacementWorstCase":     "placement detail of a flush that already emitted EvListFlush",
+	"ListsTooLargeForL1":         "admission decision; no cache state changed",
+	"ListsRejectedByAdmission":   "admission decision; no bytes moved, sub-classifies ListsDiscarded",
+	"ResultsRejectedByAdmission": "admission decision; the entry was dropped before any device traffic",
+	"ExtentsQuarantined":         "capacity retirement; the triggering failure already emitted EvIOError",
+	"QuarantinedBytes":           "capacity retirement; the triggering failure already emitted EvIOError",
+	"BreakerTrips":               "breaker state change; each contributing failure already emitted EvIOError",
 }
 
 // SetEventSink installs a callback receiving every manager event, or removes

@@ -604,7 +604,7 @@ func TestDivergenceUnderInjectedFaults(t *testing.T) {
 		StickyProb: 0.5,
 		BadExtents: 1,
 	}
-	for _, policy := range []Policy{PolicyLRU, PolicyCBLRU, PolicyCBSLRU} {
+	for _, policy := range allPolicies() {
 		t.Run(policy.String(), func(t *testing.T) {
 			cfg := testConfig(policy)
 			cfg.BreakerThreshold = 2 // make degraded windows likely

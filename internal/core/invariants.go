@@ -74,7 +74,7 @@ func (m *Manager) CheckInvariants() error {
 		if sl.off < 0 || sl.off+sl.blockBytes > m.cfg.SSDListBytes {
 			return fmt.Errorf("term %d extent [%d,+%d) outside region", sl.term, sl.off, sl.blockBytes)
 		}
-		if m.cfg.Policy != PolicyLRU {
+		if m.repl.BlockAlignedL2() {
 			if sl.off%m.cfg.BlockBytes != 0 || sl.blockBytes%m.cfg.BlockBytes != 0 {
 				return fmt.Errorf("term %d extent [%d,+%d) not block-aligned", sl.term, sl.off, sl.blockBytes)
 			}

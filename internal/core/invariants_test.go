@@ -16,7 +16,7 @@ func TestInvariantsHoldOnFreshManager(t *testing.T) {
 }
 
 func TestInvariantsHoldUnderChurn(t *testing.T) {
-	for _, policy := range []Policy{PolicyLRU, PolicyCBLRU, PolicyCBSLRU} {
+	for _, policy := range allPolicies() {
 		t.Run(policy.String(), func(t *testing.T) {
 			cfg := testConfig(policy)
 			cfg.MemListBytes = 64 << 10

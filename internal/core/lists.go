@@ -33,8 +33,11 @@ func (m *Manager) ReadListRange(t workload.TermID, off int64, p []byte) error {
 		l1 = e.Value.(*memList)
 		if m.listExpired(l1.loadedAt) {
 			m.ic.RemoveEntry(e)
+			m.repl.NoteL1ListEvict(t)
 			m.stats.ListsExpired++
 			l1 = nil
+		} else {
+			m.repl.NoteL1ListHit(t)
 		}
 	}
 	if l1 != nil {
@@ -127,7 +130,7 @@ func (m *Manager) ssdListFor(t workload.TermID) *ssdList {
 // now be overwritten first) under the cost-based policies. Static entries
 // never change state.
 func (m *Manager) onSSDListHit(t workload.TermID, sl *ssdList) {
-	if sl.static || m.cfg.Policy == PolicyLRU {
+	if sl.static || !m.repl.FlipReplaceableOnHit() {
 		return
 	}
 	sl.state = stateReplaceable
@@ -142,7 +145,13 @@ func (m *Manager) onSSDListHit(t workload.TermID, sl *ssdList) {
 func (m *Manager) fillL1List(t workload.TermID, l1 *memList, off int64, p []byte, total int64, hddTail bool) {
 	capBytes := m.ic.Capacity() / maxL1EntryShare
 
-	if m.cfg.Policy == PolicyLRU {
+	// First-touch admission gate (the bidirectional filter's upward
+	// direction); extensions of a resident prefix are always allowed.
+	if l1 == nil && !m.repl.AdmitNewL1List(t) {
+		return
+	}
+
+	if m.repl.WholeListL1() {
 		if l1 != nil {
 			return // whole list already resident
 		}
@@ -265,6 +274,7 @@ func (m *Manager) insertL1List(t workload.TermID, data []byte) {
 		return
 	}
 	m.ic.Put(uint64(t), size, &memList{term: t, prefix: data, loadedAt: m.clock.Now()})
+	m.repl.NoteL1ListInsert(t)
 	m.memCost(int(size))
 }
 
@@ -280,40 +290,15 @@ func (m *Manager) makeRoomIC(need int64, exclude *cache.Entry) {
 		}
 		ml := victim.Value.(*memList)
 		m.ic.RemoveEntry(victim)
+		m.repl.NoteL1ListEvict(ml.term)
 		m.stats.L1ListEvictions++
 		m.emit(Event{Kind: EvListEvict, Term: ml.term, Level: LevelMem})
 		m.flushListToSSD(ml)
 	}
 }
 
-// chooseL1ListVictim picks the next L1 list eviction victim.
+// chooseL1ListVictim picks the next L1 list eviction victim by delegating
+// to the active replacement policy.
 func (m *Manager) chooseL1ListVictim(exclude *cache.Entry) *cache.Entry {
-	if m.cfg.Policy == PolicyLRU {
-		var v *cache.Entry
-		m.ic.Ascend(func(e *cache.Entry) bool {
-			if e != exclude {
-				v = e
-				return false
-			}
-			return true
-		})
-		return v
-	}
-	window := m.cfg.WindowW
-	if window < 8 {
-		window = 8
-	}
-	var best *cache.Entry
-	bestEV := 0.0
-	for _, e := range m.ic.TailWindow(window + 1) { // +1 headroom for exclude
-		if e == exclude {
-			continue
-		}
-		ml := e.Value.(*memList)
-		v := ev(m.termFreq[ml.term], m.scBlocks(int64(len(ml.prefix)), m.pu(ml.term)))
-		if best == nil || v < bestEV {
-			best, bestEV = e, v
-		}
-	}
-	return best
+	return m.repl.ChooseL1ListVictim(exclude)
 }

@@ -115,6 +115,11 @@ type Manager struct {
 	ix    *index.Index
 	ssd   storage.Device // nil = one-level cache (memory only)
 
+	// repl and adm are the pluggable policy pair built from the registry
+	// for cfg.Policy (see policy.go).
+	repl ReplacementPolicy
+	adm  AdmissionPolicy
+
 	nsPerByteMem float64
 
 	// L1.
@@ -218,11 +223,22 @@ func New(clock *simclock.Clock, ix *index.Index, ssd storage.Device, cfg Config)
 		m.icLRU = cache.NewList(cfg.SSDListBytes)
 		m.icAlloc = storage.NewAllocator(cfg.SSDListBytes)
 	}
+	info, ok := lookupPolicy(cfg.Policy)
+	if !ok {
+		// Unreachable after Validate; kept as a guard for future registry edits.
+		return nil, fmt.Errorf("core: policy %d not registered", cfg.Policy)
+	}
+	m.repl, m.adm = info.New(m)
 	return m, nil
 }
 
 // Policy returns the manager's replacement policy.
 func (m *Manager) Policy() Policy { return m.cfg.Policy }
+
+// UsesStaticPartition reports whether the active policy reserves static
+// SSD partitions populated by query-log analysis (CBSLRU). Callers use it
+// to decide whether a WarmupStatic pass is meaningful.
+func (m *Manager) UsesStaticPartition() bool { return m.repl.UsesStaticPartition() }
 
 // Config returns the effective configuration.
 func (m *Manager) Config() Config { return m.cfg }

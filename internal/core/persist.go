@@ -200,7 +200,7 @@ func (m *Manager) loadMappings(raw []byte) error {
 			return err
 		}
 		size := m.cfg.BlockBytes
-		if m.cfg.Policy == PolicyLRU {
+		if !m.repl.BlockAlignedL2() {
 			size = m.cfg.ResultEntryBytes
 		}
 		if !m.rcAlloc.Reserve(rbOff, size) {

@@ -64,7 +64,11 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 			m.noteResultSource(srcSSD)
 			m.stats.ResultHitsSSD++
 			m.emit(Event{Kind: EvResultHit, Level: LevelSSD, Bytes: int64(len(data))})
-			if !loc.rb.static && m.cfg.Policy != PolicyLRU {
+			// Promotion is the policy's call (the bidirectional filter
+			// serves straight from SSD until repeat demand); the Fig 9
+			// replaceable flip only applies when the data actually moved up.
+			promote := m.repl.PromoteResultToL1(qid)
+			if !loc.rb.static && m.repl.FlipReplaceableOnHit() && promote {
 				loc.state = stateReplaceable
 			}
 			if m.rbLRU != nil && !loc.rb.static {
@@ -72,7 +76,9 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 					m.rbLRU.Touch(e)
 				}
 			}
-			m.putResultL1(qid, data)
+			if promote {
+				m.putResultL1(qid, data)
+			}
 			return data, ResultFromSSD
 		}
 		// Read failure (error already accounted by ssdRead). A dynamic
@@ -82,7 +88,7 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 		// are left in place (the breaker guards repeated failures; the
 		// static partition is rebuilt offline).
 		if !loc.rb.static {
-			if m.cfg.Policy == PolicyLRU {
+			if !m.repl.BlockAlignedL2() {
 				m.quarantineLRUResult(loc)
 			} else {
 				m.quarantineRB(loc.rb)
@@ -101,7 +107,7 @@ func (m *Manager) GetResult(qid uint64) ([]byte, ResultSource) {
 // invalidated (the RB lives on for IREN-based replacement).
 func (m *Manager) expireSSDResult(loc *ssdResult) {
 	m.stats.ResultsExpired++
-	if m.cfg.Policy == PolicyLRU {
+	if !m.repl.BlockAlignedL2() {
 		m.freeLRUResult(loc)
 		return
 	}
@@ -206,7 +212,7 @@ func (m *Manager) evictResultToSSD(qid uint64, mr *memResult) {
 		m.stats.ResultsDropped++
 		return
 	}
-	if m.cfg.Policy == PolicyLRU {
+	if !m.repl.BlockAlignedL2() {
 		m.evictResultLRU(qid, mr.data)
 		return
 	}
@@ -217,6 +223,10 @@ func (m *Manager) evictResultToSSD(qid uint64, mr *memResult) {
 	if loc, ok := m.resultLoc[qid]; ok {
 		loc.state = stateNormal
 		m.stats.ResultWritesElided++
+		return
+	}
+	if !m.adm.AdmitResult(qid) {
+		m.stats.ResultsRejectedByAdmission++
 		return
 	}
 	m.writeBuf = append(m.writeBuf, bufferedResult{qid: qid, data: mr.data, loadedAt: mr.loadedAt})
@@ -385,7 +395,7 @@ func (m *Manager) freeLRUResult(loc *ssdResult) {
 // L2 result cache (CBSLRU). Entries are packed into static RBs that are
 // never replaced. Returns false when the static budget is exhausted.
 func (m *Manager) PinResult(qid uint64, data []byte) bool {
-	if m.cfg.Policy != PolicyCBSLRU || m.rbLRU == nil {
+	if !m.repl.UsesStaticPartition() || m.rbLRU == nil {
 		return false
 	}
 	if _, ok := m.resultLoc[qid]; ok {
@@ -441,7 +451,7 @@ func (m *Manager) PinResult(qid uint64, data []byte) bool {
 // StaticResultBudget returns the byte budget of the static result
 // partition.
 func (m *Manager) StaticResultBudget() int64 {
-	if m.cfg.Policy != PolicyCBSLRU || m.rbLRU == nil {
+	if !m.repl.UsesStaticPartition() || m.rbLRU == nil {
 		return 0
 	}
 	return int64(float64(m.cfg.SSDResultBytes) * m.cfg.StaticFraction)

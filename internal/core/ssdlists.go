@@ -28,7 +28,7 @@ func (m *Manager) flushListToSSD(ml *memList) {
 		m.stats.ListsDiscarded++
 		return
 	}
-	if m.cfg.Policy == PolicyLRU {
+	if !m.repl.BlockAlignedL2() {
 		m.flushListLRU(ml)
 		return
 	}
@@ -41,9 +41,10 @@ func (m *Manager) flushListToSSD(ml *memList) {
 	sc := m.scBlocks(si, 1)
 	scBytes := sc * m.cfg.BlockBytes
 
-	// Selection: lists whose efficiency value falls below the threshold
-	// are discarded rather than flushed (§VI-A).
-	if ev(m.termFreq[ml.term], sc) < m.cfg.TEV {
+	// Selection: the admission policy decides what is worth flash writes
+	// (the paper's EV-vs-TEV check under the cost-based policies; the
+	// frequency doorkeeper additionally rejects one-hit wonders).
+	if !m.adm.AdmitList(ml.term, sc) {
 		m.stats.ListsDiscarded++
 		return
 	}
@@ -251,7 +252,7 @@ func (m *Manager) flushListLRU(ml *memList) {
 // list region. It returns false when the static budget cannot hold the
 // entry. Only meaningful under CBSLRU; see Manager.StaticListBudget.
 func (m *Manager) PinList(t workload.TermID) bool {
-	if m.cfg.Policy != PolicyCBSLRU || m.icLRU == nil {
+	if !m.repl.UsesStaticPartition() || m.icLRU == nil {
 		return false
 	}
 	if _, ok := m.icStatic[t]; ok {
@@ -301,7 +302,7 @@ func (m *Manager) PinList(t workload.TermID) bool {
 
 // StaticListBudget returns the byte budget of the static list partition.
 func (m *Manager) StaticListBudget() int64 {
-	if m.cfg.Policy != PolicyCBSLRU || m.icLRU == nil {
+	if !m.repl.UsesStaticPartition() || m.icLRU == nil {
 		return 0
 	}
 	return int64(float64(m.cfg.SSDListBytes) * m.cfg.StaticFraction)

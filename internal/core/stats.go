@@ -159,6 +159,14 @@ type Stats struct {
 	L1ListEvictions        int64
 	L2ListEvictions        int64
 
+	// Admission-policy accounting (the zoo's frequency doorkeepers).
+	// ListsRejectedByAdmission sub-classifies ListsDiscarded: evicted
+	// lists the admission policy's frequency gate kept off the flash.
+	// ResultsRejectedByAdmission counts evicted result entries the gate
+	// dropped before they reached the write buffer.
+	ListsRejectedByAdmission   int64
+	ResultsRejectedByAdmission int64
+
 	// Dynamic scenario (TTL) accounting.
 	ResultsExpired int64
 	ListsExpired   int64

@@ -67,6 +67,10 @@ type Scale struct {
 	// -codec). Results are byte-identical across codecs; byte-denominated
 	// stats (device bytes, cache occupancy) reflect the encoded size.
 	Codec index.CodecID
+	// ZooPolicies restricts the zoo sweep to the listed policies
+	// (hybridbench -policies), registry order; empty means every
+	// registered policy.
+	ZooPolicies []core.Policy
 }
 
 // FullScale is the reference configuration: the regime of the paper's
@@ -176,7 +180,7 @@ func runMeasured(sys *hybrid.System, sc Scale) (hybrid.RunStats, core.Stats, err
 		o = obs.New(obs.Options{TraceRing: 1, SpanLimit: -1})
 		sys.EnableObservability(o)
 	}
-	if sys.Manager != nil && sys.Manager.Policy() == core.PolicyCBSLRU {
+	if sys.Manager != nil && sys.Manager.UsesStaticPartition() {
 		if _, err := sys.WarmupStatic(2 * sc.WarmQueries); err != nil {
 			return hybrid.RunStats{}, core.Stats{}, err
 		}
@@ -237,6 +241,7 @@ func All() []Experiment {
 		{ID: "threelevel", Title: "§VIII/[19]: three-level caching — intersection cache on a conjunctive workload", Run: ThreeLevel},
 		{ID: "faults", Title: "Fault injection: SSD op-error sweep — graceful degradation toward the HDD baseline", Run: Faults},
 		{ID: "serving", Title: "Serving layer: shard count × offered load — throughput and p99/p999 under open-loop arrivals", Run: Serving},
+		{ID: "zoo", Title: "Policy zoo: every registered policy × budget × workload, plus the heterogeneous cache tier", Run: Zoo},
 	}
 }
 

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hybridstore/internal/core"
+)
+
+// TestZooByteIdenticalAcrossJobs: every zoo point is an independent
+// deterministic system and rows are assembled in point order, so the sweep
+// must render byte-identical output at any worker count — the per-policy
+// form of the suite-wide -jobs guarantee.
+func TestZooByteIdenticalAcrossJobs(t *testing.T) {
+	run := func(jobs int) string {
+		sc := microScale()
+		sc.Jobs = jobs
+		var buf bytes.Buffer
+		if err := Zoo(&buf, sc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out1 := run(1)
+	out4 := run(4)
+	if out1 != out4 {
+		t.Fatalf("zoo output differs between -jobs 1 and -jobs 4:\n--- jobs=1\n%s\n--- jobs=4\n%s", out1, out4)
+	}
+	// Every registered policy must appear in the sweep.
+	for _, info := range core.Policies() {
+		if !strings.Contains(out1, info.Name) {
+			t.Fatalf("policy %q missing from zoo output:\n%s", info.Name, out1)
+		}
+	}
+	if !strings.Contains(out1, "hetero") {
+		t.Fatalf("heterogeneous tier section missing:\n%s", out1)
+	}
+}

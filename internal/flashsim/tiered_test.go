@@ -1,0 +1,119 @@
+package flashsim
+
+import (
+	"bytes"
+	"testing"
+
+	"hybridstore/internal/simclock"
+)
+
+func newTestTiered(t *testing.T) *Tiered {
+	t.Helper()
+	clock := simclock.New()
+	fastP := DefaultParams(512 << 10)
+	slowP := DefaultParams(1 << 20)
+	slowP.PageReadLatency *= 4
+	slowP.PageWriteLatency *= 4
+	slowP.BlockEraseLatency *= 4
+	fast := New("fast", clock, fastP)
+	slow := New("slow", clock, slowP)
+	return NewTiered("tiered", fast, slow, fast.Size())
+}
+
+func TestTieredRoutesAndSpans(t *testing.T) {
+	d := newTestTiered(t)
+	boundary := d.Fast().Size()
+	if d.Size() != boundary+d.Slow().Size() {
+		t.Fatalf("size %d != fast %d + slow %d", d.Size(), boundary, d.Slow().Size())
+	}
+
+	// A write entirely below the boundary lands on the fast device only.
+	pat := func(n int, seed byte) []byte {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = seed + byte(i)
+		}
+		return p
+	}
+	if _, err := d.WriteAt(pat(8<<10, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Slow().Wear().HostPagesWritten; got != 0 {
+		t.Fatalf("fast-only write reached the slow device (%d pages)", got)
+	}
+	// A write entirely above lands on the slow device only.
+	fastPages := d.Fast().Wear().HostPagesWritten
+	if _, err := d.WriteAt(pat(8<<10, 2), boundary); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Fast().Wear().HostPagesWritten; got != fastPages {
+		t.Fatalf("slow-only write reached the fast device")
+	}
+
+	// A write spanning the boundary splits, and reads stitch it back.
+	span := pat(16<<10, 3)
+	off := boundary - 8<<10
+	if _, err := d.WriteAt(span, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(span))
+	if _, err := d.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, span) {
+		t.Fatal("spanning read returned wrong bytes")
+	}
+
+	// Slow-tier reads cost more than fast-tier reads of the same size.
+	buf := make([]byte, 8<<10)
+	fastLat, err := d.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowLat, err := d.ReadAt(buf, boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowLat <= fastLat {
+		t.Fatalf("slow read %v not slower than fast read %v", slowLat, fastLat)
+	}
+
+	// Combined stats are the field-wise sum of the tiers'.
+	a, b, sum := d.Fast().Stats(), d.Slow().Stats(), d.Stats()
+	if sum.Writes != a.Writes+b.Writes || sum.BytesRead != a.BytesRead+b.BytesRead {
+		t.Fatalf("stats do not sum: %+v vs %+v + %+v", sum, a, b)
+	}
+
+	// Trim spanning the boundary reaches both tiers.
+	trimsBefore := d.Stats().Trims
+	if _, err := d.Trim(off, int64(len(span))); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fast().Stats().Trims == 0 || d.Slow().Stats().Trims == 0 {
+		t.Fatal("spanning trim did not reach both tiers")
+	}
+	if d.Stats().Trims != trimsBefore+2 {
+		t.Fatalf("expected 2 tier trims, got %d", d.Stats().Trims-trimsBefore)
+	}
+
+	// Out-of-range access is rejected against the combined size.
+	if _, err := d.ReadAt(buf, d.Size()-4); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestTieredBadBoundaryPanics(t *testing.T) {
+	clock := simclock.New()
+	fast := New("fast", clock, DefaultParams(512<<10))
+	slow := New("slow", clock, DefaultParams(1<<20))
+	for _, boundary := range []int64{0, 4096, fast.Size() + int64(fast.BlockSize())} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("boundary %d accepted", boundary)
+				}
+			}()
+			NewTiered("bad", fast, slow, boundary)
+		}()
+	}
+}

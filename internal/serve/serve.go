@@ -182,7 +182,7 @@ func (p *Pool) route(qid uint64) *shard {
 // measurement covers only the open-loop window.
 func (p *Pool) Warm() error {
 	for i, sh := range p.shards {
-		if sh.sys.Manager != nil && sh.sys.Manager.Policy() == core.PolicyCBSLRU {
+		if sh.sys.Manager != nil && sh.sys.Manager.UsesStaticPartition() {
 			if _, err := sh.sys.WarmupStatic(2 * p.cfg.WarmQueries); err != nil {
 				return fmt.Errorf("serve: shard %d static warmup: %w", i, err)
 			}

@@ -8,7 +8,8 @@
 # matrix) verifying the compressed index is strictly smaller on device and
 # query results are byte-identical across codecs (timing/occupancy rows are
 # byte-denominated and may differ), extracts the serving shard x load
-# throughput/tail-latency matrix from the suite output, and writes the
+# throughput/tail-latency matrix and the policy-zoo sweep (every registered
+# cache policy x budget x workload) from the suite output, and writes the
 # whole record to BENCH_pr${PR}.json, extending the perf trajectory
 # (BENCH_pr2.json was the first point). Fails hard if
 # BenchmarkEngineExecute exceeds 8 allocs/op (the PR 2 zero-copy budget).
@@ -20,7 +21,7 @@
 # more than one CPU -- on a single CPU the ratio is pure noise.
 #
 # Environment:
-#   PR       PR number stamped into the record (default: 8)
+#   PR       PR number stamped into the record (default: 9)
 #   SCALE    suite scale to time (default: small; full takes much longer)
 #   JOBS     parallel job count (default: nproc)
 #   OUT      output JSON path (default: BENCH_pr${PR}.json in the repo root)
@@ -31,7 +32,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PR="${PR:-8}"
+PR="${PR:-9}"
 SCALE="${SCALE:-small}"
 JOBS="${JOBS:-$(nproc)}"
 OUT="${OUT:-BENCH_pr${PR}.json}"
@@ -190,6 +191,23 @@ if [ -z "$SERVING_MU" ] || [ -z "$(printf %s "$SERVING_MATRIX" | tr -d "[:space:
     exit 1
 fi
 
+# Policy zoo: the suite output contains the policy x budget x workload
+# table; fold its rows into JSON so the trajectory records every policy's
+# hit ratio, latency and flash wear.
+POLICY_MATRIX=$(awk '
+    /^# Policy zoo/ { inzoo = 1; next }
+    inzoo && /^\(/ { inzoo = 0 }
+    inzoo && NF == 7 && $2 ~ /^[0-9.]+x$/ {
+        budget = $2; sub(/x$/, "", budget)
+        printf "%s\n    {\"workload\": \"%s\", \"budget\": %s, \"policy\": \"%s\", \"ric\": %s, \"resp_ms\": %s, \"ssd_pages\": %s, \"erases\": %s}", \
+            (found++ ? "," : ""), $1, budget, $3, $4, $5, $6, $7
+    }
+    END { print "" }' "$WORK/out_serial.txt")
+if [ -z "$(printf %s "$POLICY_MATRIX" | tr -d "[:space:]")" ]; then
+    echo "FATAL: policy-zoo matrix missing from suite output" >&2
+    exit 1
+fi
+
 baseline_json() { # baseline_json <ns_var> <allocs_var>
     local ns="${!1:-}" allocs="${!2:-}"
     if [ -n "$ns" ] && [ -n "$allocs" ]; then
@@ -230,6 +248,11 @@ cat >"$OUT" <<EOF
     }
   },
   "codec_matrix": $CODEC_MATRIX,
+  "policy_zoo": {
+    "scale": "$SCALE",
+    "matrix": [$POLICY_MATRIX
+    ]
+  },
   "serving": {
     "scale": "$SCALE",
     "single_shard_capacity_qps": $SERVING_MU,

@@ -3,7 +3,6 @@ package hybrid
 import (
 	"sort"
 
-	"hybridstore/internal/core"
 	"hybridstore/internal/workload"
 )
 
@@ -24,10 +23,11 @@ type WarmupStats struct {
 // caches stay cold; the simulated time spent is setup cost, charged on the
 // clock like any other work.
 //
-// It is a no-op (returning zero counts) for policies other than CBSLRU.
+// It is a no-op (returning zero counts) for policies without a static
+// partition (everything but CBSLRU today).
 func (s *System) WarmupStatic(sampleQueries int) (WarmupStats, error) {
 	ws := WarmupStats{SampleQueries: sampleQueries}
-	if s.Manager == nil || s.Manager.Policy() != core.PolicyCBSLRU {
+	if s.Manager == nil || !s.Manager.UsesStaticPartition() {
 		return ws, nil
 	}
 
