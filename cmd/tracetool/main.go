@@ -57,6 +57,23 @@ func main() {
 	}
 }
 
+// summaryOrder is the canonical component rendering order shared by
+// summary, topk and diff. hybridlint's attrib analyzer (and the mirror test
+// in main_test.go) checks it lists every declared simclock.Component
+// exactly once, so a newly added component cannot silently vanish from
+// reports.
+var summaryOrder = []simclock.Component{
+	simclock.CompOther,
+	simclock.CompHDDSeek,
+	simclock.CompHDDTransfer,
+	simclock.CompSSDRead,
+	simclock.CompSSDProgram,
+	simclock.CompSSDEraseStall,
+	simclock.CompCPUIntersect,
+	simclock.CompCacheBookkeeping,
+	simclock.CompQueueWait,
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, `usage: tracetool <command> [flags] <trace.ndjson>...
 
@@ -168,15 +185,16 @@ func runSummary(args []string) error {
 	fmt.Fprintf(w, "traces=%d attributed=%d total_elapsed_ns=%d\n", len(traces), attributed, grand)
 	for _, row := range rows {
 		fmt.Fprintf(w, "%-18s n=%-7d total_ns=%-14d", row.Situation, row.Queries, row.ElapsedNS)
-		for c, v := range row.Attrib {
+		for _, c := range summaryOrder {
+			v := row.Attrib[c]
 			// queue_wait prints even at zero: the serving layer's
 			// saturation signal should be visible (as its absence) at a
 			// glance, not hidden by the zero-elision the other components
 			// get.
-			if v == 0 && simclock.Component(c) != simclock.CompQueueWait {
+			if v == 0 && c != simclock.CompQueueWait {
 				continue
 			}
-			fmt.Fprintf(w, " %s=%d(%.1f%%)", simclock.Component(c), v,
+			fmt.Fprintf(w, " %s=%d(%.1f%%)", c, v,
 				100*float64(v)/float64(row.ElapsedNS))
 		}
 		fmt.Fprintln(w)
@@ -214,11 +232,12 @@ func runTopK(args []string) error {
 	for _, tr := range traces {
 		fmt.Fprintf(w, "seq=%-7d qid=%-10d %-18s elapsed_ns=%-12d", tr.Seq, tr.QID, situation(tr), tr.ElapsedNS)
 		if tr.Attrib != nil {
-			for c, v := range tr.Attrib {
+			for _, c := range summaryOrder {
+				v := tr.Attrib[c]
 				if v == 0 {
 					continue
 				}
-				fmt.Fprintf(w, " %s=%d", simclock.Component(c), v)
+				fmt.Fprintf(w, " %s=%d", c, v)
 			}
 		}
 		fmt.Fprintln(w)
@@ -253,7 +272,7 @@ func runDiff(args []string) error {
 	fmt.Fprintf(w, "a=%s traces=%d elapsed_ns=%d\n", paths[0], count[0], elapsed[0])
 	fmt.Fprintf(w, "b=%s traces=%d elapsed_ns=%d\n", paths[1], count[1], elapsed[1])
 	fmt.Fprintf(w, "%-18s %14s %14s %14s\n", "component", "a_ns", "b_ns", "delta_ns")
-	for c := simclock.Component(0); c < simclock.NumComponents; c++ {
+	for _, c := range summaryOrder {
 		a, b := totals[0][c], totals[1][c]
 		if a == 0 && b == 0 {
 			continue

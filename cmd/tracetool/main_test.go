@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"hybridstore/internal/simclock"
+)
+
+// TestSummaryOrderCoversEveryComponent is the runtime mirror of the attrib
+// analyzer's ordering check (and the tracetool half of simclock's
+// TestComponentTable): every declared Component has exactly one rendering
+// slot in summaryOrder, so a newly added component cannot silently vanish
+// from summary, topk, or diff output.
+func TestSummaryOrderCoversEveryComponent(t *testing.T) {
+	seen := make(map[simclock.Component]bool, len(summaryOrder))
+	for _, c := range summaryOrder {
+		if c >= simclock.NumComponents {
+			t.Errorf("summaryOrder lists %d, which is not a declared Component", c)
+			continue
+		}
+		if seen[c] {
+			t.Errorf("summaryOrder lists %s twice", c)
+		}
+		seen[c] = true
+	}
+	for c := simclock.Component(0); c < simclock.NumComponents; c++ {
+		if !seen[c] {
+			t.Errorf("summaryOrder omits %s: the component would vanish from reports", c)
+		}
+	}
+}

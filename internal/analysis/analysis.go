@@ -1,5 +1,5 @@
 // Package analysis implements hybridlint, a suite of static analyzers that
-// machine-check the repository's three load-bearing contracts:
+// machine-check the repository's load-bearing contracts:
 //
 //   - determinism: simulated time and randomness flow exclusively through
 //     internal/simclock (analyzer detclock), and output paths never iterate
@@ -9,7 +9,28 @@
 //     by the matching manager event in the same function, driven by the
 //     pairing table declared next to the counters (analyzer statsevent);
 //   - error accounting: no storage-device or allocator result is silently
-//     discarded, so injected faults can never vanish (analyzer ioerr).
+//     discarded, so injected faults can never vanish (analyzer ioerr);
+//   - Σattrib≡elapsed: every clock advance carries a Component constant
+//     declared in simclock's componentTable, and tracetool renders every
+//     declared component (analyzer attrib);
+//   - zero-copy lifetime: a buffer filled by a device read is on loan for
+//     decoding only and may not outlive the read (analyzer bufalias);
+//   - shard confinement: concurrently launched closures and event-queue
+//     callbacks touch only state bound to them at creation (analyzer
+//     confine).
+//
+// The attrib, bufalias and confine analyzers share a small intra-procedural
+// dataflow layer (dataflow.go): def/use value tracking over go/ast+go/types
+// that follows local aliases of a value through assignments and reslicings
+// inside one function body. Analysis never crosses function boundaries —
+// which is a feature, not a shortcut: a callee that wants to keep bytes
+// must copy them, and the copy is visible in the caller.
+//
+// An eighth check, allocbudget (allocbudget.go), is not AST-based at all:
+// it replays the compiler's escape analysis (`go build -gcflags=-m`)
+// against the committed per-function heap-allocation budget in
+// allocbudget.txt, turning the hot path's allocation discipline into a
+// regression-gated contract.
 //
 // The framework is a deliberately small, dependency-free re-implementation
 // of the golang.org/x/tools/go/analysis surface this repo needs (the real
@@ -44,6 +65,13 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package and reports findings through the pass.
 	Run func(*Pass)
+	// Inspects, when non-nil, reports whether the analyzer looks at the
+	// package with the given import path at all. The allow-directive audit
+	// uses it to flag directives that can never fire: an allow naming an
+	// analyzer that does not inspect the surrounding package is dead weight
+	// left behind by a refactor, not a suppression. Nil means the analyzer
+	// inspects every package.
+	Inspects func(path string) bool
 }
 
 // A Package is one type-checked unit under analysis.
@@ -187,17 +215,20 @@ func (d *directive) guards(an string, pos token.Position) bool {
 // audits the directives themselves, and returns the surviving findings
 // sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
+	known := make(map[string]*Analyzer, len(analyzers))
 	for _, a := range All() {
-		known[a.Name] = true
+		known[a.Name] = a
 	}
 	for _, a := range analyzers {
-		known[a.Name] = true
+		known[a.Name] = a
 	}
 
 	dirs := parseDirectives(pkg)
 	var raw []Diagnostic
 	for _, a := range analyzers {
+		if a.Inspects != nil && !a.Inspects(pkg.Path) {
+			continue
+		}
 		a.Run(&Pass{Package: pkg, analyzer: a, diags: &raw})
 	}
 
@@ -216,13 +247,20 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	}
 
 	for _, dir := range dirs {
+		a, isKnown := known[dir.analyzer]
 		switch {
 		case dir.analyzer == "" || dir.reason == "":
 			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
 				Message: fmt.Sprintf("%s directive needs an analyzer name and a reason: //%s <analyzer> <why this is safe>", AllowPrefix, AllowPrefix)})
-		case !known[dir.analyzer]:
+		case dir.analyzer == AllocBudgetName:
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
+				Message: fmt.Sprintf("%s findings are gated by the committed budget file, not by directives: adjust the function's entry in allocbudget.txt instead", AllocBudgetName)})
+		case !isKnown:
 			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
 				Message: fmt.Sprintf("%s names unknown analyzer %q", AllowPrefix, dir.analyzer)})
+		case a.Inspects != nil && !a.Inspects(pkg.Path):
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
+				Message: fmt.Sprintf("stale %s directive: analyzer %s does not inspect package %s, so this can never suppress anything", AllowPrefix, dir.analyzer, pkg.Path)})
 		case !dir.used:
 			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "allow",
 				Message: fmt.Sprintf("unused %s directive: no %s finding here to suppress", AllowPrefix, dir.analyzer)})
@@ -245,9 +283,13 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// All returns the full hybridlint suite in reporting order.
+// All returns the full AST-based hybridlint suite in reporting order. The
+// eighth check, allocbudget, is not package-scoped (it runs the compiler's
+// escape analysis over the whole module) and is invoked separately via
+// RunAllocBudget; its name is still known to the directive audit through
+// AllocBudgetName.
 func All() []*Analyzer {
-	return []*Analyzer{Detclock, Mapiter, Statsevent, Ioerr}
+	return []*Analyzer{Detclock, Mapiter, Statsevent, Ioerr, Attrib, Bufalias, Confine}
 }
 
 // pathSegment reports whether the import path contains seg as a whole

@@ -1,0 +1,16 @@
+// Package stale seeds the stale-directive audit: a directive naming an
+// analyzer that never inspects this package, and the allocbudget
+// pseudo-directive that has no allow escape hatch at all.
+package stale
+
+func staleScope() int {
+	// want "stale hybridlint:allow directive: analyzer confine does not inspect package allowdir/stale"
+	//hybridlint:allow confine this package launches no goroutines
+	return 1
+}
+
+func budgetMute() int {
+	// want "allocbudget findings are gated by the committed budget file"
+	//hybridlint:allow allocbudget budgets should not be muted here
+	return 2
+}

@@ -1,0 +1,10 @@
+// Package storage (the path segment is what matters) seeds the other
+// stale-directive case: bufalias never inspects device packages, so a
+// bufalias directive here is dead weight.
+package storage
+
+func staleScope() int {
+	// want "stale hybridlint:allow directive: analyzer bufalias does not inspect package allowdir/storage"
+	//hybridlint:allow bufalias devices own their internal buffers
+	return 1
+}

@@ -1,0 +1,26 @@
+// Package a seeds the attrib call-site regressions: computed components,
+// the NumComponents sentinel, and unattributed bare advances.
+package a
+
+import simclock "attrib/clockpkg"
+
+func attributed(c *simclock.Clock) {
+	c.AdvanceAttr(10, simclock.CompA)
+	c.AdvanceToAttr(20, simclock.CompB)
+}
+
+func computed(c *simclock.Clock, comp simclock.Component) {
+	c.AdvanceAttr(10, comp)                     // want "must be passed a named simclock.Component constant"
+	c.AdvanceAttr(10, simclock.Component(1))    // want "must be passed a named simclock.Component constant"
+	c.AdvanceToAttr(20, simclock.NumComponents) // want "array-bound sentinel"
+}
+
+func bare(c *simclock.Clock) {
+	c.Advance(5)    // want "bare Advance silently attributes the advance to CompOther"
+	c.AdvanceTo(50) // want "bare AdvanceTo silently attributes the advance to CompOther"
+}
+
+func allowed(c *simclock.Clock) {
+	//hybridlint:allow attrib fixture: a justified bare advance is suppressible
+	c.Advance(5)
+}

@@ -1,0 +1,11 @@
+// Package allowedpkg proves the attribBareAllowed table suppresses bare
+// advance findings: this fixture path is listed there with a rationale, so
+// the calls below produce no findings.
+package allowedpkg
+
+import simclock "attrib/clockpkg"
+
+func bareButAllowed(c *simclock.Clock) {
+	c.Advance(5)
+	c.AdvanceTo(50)
+}

@@ -1,0 +1,24 @@
+// Package badtable seeds the componentTable totality regressions: a
+// missing entry, an empty rationale, a stale key, and a sentinel entry.
+package badtable
+
+// Component labels where simulated time is spent.
+type Component uint8
+
+// The fixture components.
+const (
+	CompX Component = iota
+	CompY           // want "CompY has no componentTable entry"
+
+	// NumComponents bounds arrays indexed by Component.
+	NumComponents
+)
+
+// NotAComponent is an untyped constant, not a Component.
+const NotAComponent = 7
+
+var componentTable = map[Component]string{
+	CompX:         "",      // want "entry for CompX needs a non-empty rationale"
+	NotAComponent: "stale", // want "NotAComponent, which is not a Component constant"
+	NumComponents: "bound", // want "NumComponents is the array-bound sentinel"
+}

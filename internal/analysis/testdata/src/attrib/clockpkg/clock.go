@@ -1,0 +1,45 @@
+// Package simclock is a fixture re-declaring the shapes the attrib
+// analyzer keys on: the Clock advance methods, the Component enum, and a
+// total componentTable. This package itself is clean.
+package simclock
+
+// Component labels where simulated time is spent.
+type Component uint8
+
+// The fixture components.
+const (
+	CompA Component = iota
+	CompB
+
+	// NumComponents bounds arrays indexed by Component.
+	NumComponents
+)
+
+// componentTable declares a rationale for every component.
+var componentTable = map[Component]string{
+	CompA: "first fixture component",
+	CompB: "second fixture component",
+}
+
+// Clock is the fixture simulated clock.
+type Clock struct {
+	now int64
+}
+
+// AdvanceAttr advances by d, attributed to comp.
+func (c *Clock) AdvanceAttr(d int64, comp Component) {
+	c.now += d
+	_ = comp
+}
+
+// AdvanceToAttr advances to t, attributed to comp.
+func (c *Clock) AdvanceToAttr(t int64, comp Component) {
+	c.now = t
+	_ = comp
+}
+
+// Advance advances by d, attributed to CompA.
+func (c *Clock) Advance(d int64) { c.AdvanceAttr(d, CompA) }
+
+// AdvanceTo advances to t, attributed to CompA.
+func (c *Clock) AdvanceTo(t int64) { c.AdvanceToAttr(t, CompA) }

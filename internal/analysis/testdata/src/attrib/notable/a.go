@@ -1,0 +1,9 @@
+// Package notable declares Component constants but no componentTable at
+// all, which is itself a finding at the type declaration.
+package notable
+
+// Component labels where simulated time is spent.
+type Component uint8 // want "no componentTable"
+
+// CompOnly is the sole fixture component.
+const CompOnly Component = 0

@@ -1,0 +1,14 @@
+// Package order seeds the summaryOrder regressions: a duplicate entry, the
+// sentinel, a non-constant element, and an omitted component.
+package order
+
+import simclock "attrib/clockpkg"
+
+// summaryOrder omits CompB, which must be reported at the declaration.
+// want "summaryOrder omits CompB"
+var summaryOrder = []simclock.Component{
+	simclock.CompA,
+	simclock.CompA,         // want "summaryOrder lists CompA twice"
+	simclock.NumComponents, // want "NumComponents is the array-bound sentinel"
+	simclock.Component(1),  // want "elements must be named Component constants"
+}

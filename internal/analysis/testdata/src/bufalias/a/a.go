@@ -1,0 +1,102 @@
+// Package a seeds the bufalias regressions: every way a device-loaned
+// buffer can outlive its read, plus the flows that are legal (in-place
+// decode, spread append, explicit copy).
+package a
+
+import "bufalias/storage"
+
+type holder struct {
+	kept []byte
+}
+
+var global []byte
+
+func fieldStore(d *storage.Device, h *holder) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	h.kept = buf // want "storing a device-loaned buffer in struct field kept"
+}
+
+func derivedFieldStore(d *storage.Device, h *holder) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	view := buf[2:8]
+	h.kept = view[1:] // want "storing a device-loaned buffer in struct field kept"
+}
+
+func globalStore(d *storage.Device) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	global = buf // want "package-level var global"
+}
+
+func mapStore(d *storage.Device, m map[int][]byte) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	m[1] = buf // want "map or slice element"
+}
+
+func returned(d *storage.Device) []byte {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	return buf // want "returning a device-loaned buffer"
+}
+
+func appended(d *storage.Device) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	var batch [][]byte
+	batch = append(batch, buf) // want "appending a device-loaned buffer as an element"
+	_ = batch
+}
+
+func captured(d *storage.Device) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	f := func() { // want "closure captures device-loaned buffer buf"
+		decode(buf)
+	}
+	f()
+}
+
+func sentToGoroutine(d *storage.Device, ch chan []byte) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	go decode(buf) // want "passing a device-loaned buffer to a goroutine"
+	ch <- buf      // want "sending a device-loaned buffer on a channel"
+}
+
+func inLiteral(d *storage.Device) {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	h := holder{kept: buf} // want "storing a device-loaned buffer in a composite literal"
+	_ = h
+}
+
+func listRange(s *storage.Store) []byte {
+	buf := make([]byte, 16)
+	s.ReadListRange(7, 0, buf)
+	return buf[4:] // want "returning a device-loaned buffer"
+}
+
+// legal flows: decode in place, copy out, spread append.
+func legal(d *storage.Device, h *holder) uint16 {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	v := uint16(buf[0]) | uint16(buf[1])<<8 // reading bytes is the point of the loan
+	decode(buf)                             // passing to a call is fine: a callee keeping bytes must copy
+	h.kept = append([]byte(nil), buf...)    // spread append copies the bytes
+	owned := make([]byte, len(buf))
+	copy(owned, buf)
+	global = owned // a copy is not a loan
+	return v
+}
+
+func allowed(d *storage.Device) []byte {
+	buf := make([]byte, 16)
+	d.ReadAt(buf, 0)
+	//hybridlint:allow bufalias fixture: a justified escape is suppressible
+	return buf
+}
+
+func decode(p []byte) {}

@@ -1,0 +1,26 @@
+// Package index is a fixture owner type: BlockCursor is annotated in
+// bufOwnerTypes, so its methods may retain the loaned block across calls.
+// This package is clean.
+package index
+
+import "bufalias/storage"
+
+// BlockCursor decodes postings from a loaned block.
+type BlockCursor struct {
+	buf []byte
+	i   int
+}
+
+// Reset points the cursor at a freshly loaned block.
+func (c *BlockCursor) Reset(d *storage.Device, n int) {
+	buf := make([]byte, n)
+	d.ReadAt(buf, 0)
+	c.buf = buf // owner types hold the loan by design
+	c.i = 0
+}
+
+// Rest returns the undecoded remainder of the loan — legal only because
+// BlockCursor is the annotated owner.
+func (c *BlockCursor) Rest() []byte {
+	return c.buf[c.i:]
+}

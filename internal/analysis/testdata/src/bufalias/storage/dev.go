@@ -1,0 +1,27 @@
+// Package storage is a fixture device: its path has the storage segment,
+// so buffers passed to ReadAt are loans the bufalias analyzer tracks in
+// importing packages. The package itself is not inspected.
+package storage
+
+// Device is the fixture block device.
+type Device struct {
+	data []byte
+}
+
+// ReadAt fills p from the device at off.
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	return copy(p, d.data[off:]), nil
+}
+
+// Store is a fixture read-through store with the hybrid ReadListRange
+// shape: the destination buffer is the third argument.
+type Store struct {
+	dev *Device
+}
+
+// ReadListRange fills p with the posting bytes of term t at off.
+func (s *Store) ReadListRange(t uint32, off int64, p []byte) error {
+	_, err := s.dev.ReadAt(p, off)
+	_ = t
+	return err
+}

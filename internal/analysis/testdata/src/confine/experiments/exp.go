@@ -1,0 +1,29 @@
+// Package experiments seeds the confine regressions for the runner: the
+// per-slot slice idiom (legal) against shared-index writes and captured
+// counters (findings).
+package experiments
+
+// perSlot is the sanctioned worker idiom: every goroutine writes only the
+// slots its closure-local index selects, so the slots are disjoint.
+func perSlot(idx chan int, errs []error, fn func(int) error) {
+	go func() {
+		for i := range idx {
+			errs[i] = fn(i)
+		}
+	}()
+}
+
+var cursor int
+
+func sharedIndex(errs []error, fn func(int) error) {
+	go func() {
+		errs[cursor] = fn(cursor) // want "goroutine writes to captured slice errs through a shared index"
+		cursor++                  // want "goroutine mutates captured cursor without synchronization"
+	}()
+}
+
+func mapWrite(hits map[string]int) {
+	go func() {
+		hits["q"]++ // want "goroutine writes to captured map hits"
+	}()
+}

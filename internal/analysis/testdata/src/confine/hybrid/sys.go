@@ -1,0 +1,8 @@
+// Package hybrid is a fixture re-declaring the System shape the confine
+// analyzer keys on for shard-container detection.
+package hybrid
+
+// System is the fixture per-shard simulation instance.
+type System struct {
+	Served int
+}

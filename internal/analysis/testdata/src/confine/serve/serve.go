@@ -1,0 +1,71 @@
+// Package serve seeds the confine regressions for the serving layer:
+// cross-shard reach from scheduled callbacks and goroutines, unsynchronized
+// captured-state mutation, and the sanctioned bound-at-creation idiom.
+package serve
+
+import (
+	"sync"
+
+	"confine/hybrid"
+	"confine/simclock"
+)
+
+type shard struct {
+	sys *hybrid.System
+}
+
+type pool struct {
+	shards []*shard
+	mu     sync.Mutex
+	total  int
+	counts map[string]int
+}
+
+// crossShard reaches into the shard container from inside the callback:
+// the shard must be picked when the closure is made, not when it runs.
+func (p *pool) crossShard(q *simclock.EventQueue, i int) {
+	q.Schedule(10, func() {
+		p.shards[i].sys.Served++ // want "event-queue callback indexes into the shard container shards"
+	})
+}
+
+func (p *pool) rangeShards(q *simclock.EventQueue) {
+	q.Schedule(10, func() {
+		for _, sh := range p.shards { // want "event-queue callback ranges over the shard container shards"
+			_ = sh
+		}
+	})
+}
+
+// boundShard is the sanctioned pattern: the shard is selected at creation
+// time and the callback mutates only state reachable from it.
+func (p *pool) boundShard(q *simclock.EventQueue, i int) {
+	sh := p.shards[i]
+	q.Schedule(10, func() {
+		sh.sys.Served++
+	})
+}
+
+func (p *pool) counters(q *simclock.EventQueue) {
+	q.Schedule(10, func() {
+		p.total++            // want "callback mutates captured p without synchronization"
+		p.counts["served"]++ // want "callback writes to captured map counts"
+	})
+}
+
+// locked shows the declared synchronization idiom: mutations under the
+// pool mutex are not findings.
+func (p *pool) locked(q *simclock.EventQueue) {
+	q.Schedule(10, func() {
+		p.mu.Lock()
+		p.total++
+		p.counts["served"]++
+		p.mu.Unlock()
+	})
+}
+
+func (p *pool) goroutine() {
+	go func() {
+		p.total++ // want "goroutine mutates captured p without synchronization"
+	}()
+}

@@ -1,0 +1,15 @@
+// Package simclock is a fixture re-declaring the EventQueue shape: a
+// closure passed to Schedule is a deferred callback the confine analyzer
+// inspects like a goroutine body.
+package simclock
+
+// EventQueue is the fixture deterministic event queue.
+type EventQueue struct {
+	fns []func()
+}
+
+// Schedule enqueues fn to run at time at.
+func (q *EventQueue) Schedule(at int64, fn func()) {
+	_ = at
+	q.fns = append(q.fns, fn)
+}

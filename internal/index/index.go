@@ -208,6 +208,7 @@ func Open(dev storage.Device) (*Index, error) {
 	listBlocks := make([][]BlockRef, numTerms)
 	docBlocks := make([][]BlockRef, numTerms)
 	pos := 0
+	//hybridlint:allow bufalias readRefs decodes refBuf into freshly allocated BlockRef slices and is called only inside Open, so no alias to the buffer survives the call
 	readRefs := func(n int64) []BlockRef {
 		out := make([]BlockRef, n)
 		for i := range out {

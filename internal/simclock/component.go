@@ -53,6 +53,24 @@ var componentNames = [NumComponents]string{
 	"queue_wait",
 }
 
+// componentTable declares, for every attribution component, why it exists
+// as a distinct slice of the taxonomy. hybridlint's attrib analyzer checks
+// the table is total — adding a Component constant without an entry (or
+// leaving a stale entry behind) fails the build, the same way
+// statsEventPairs keeps the stats≡trace pairing total. NumComponents is the
+// array bound, not a component, and must not appear here.
+var componentTable = map[Component]string{
+	CompOther:            "the residual bucket: RAM transfers and unlabeled fixture advances, kept explicit so Σattrib≡elapsed never needs a fudge term",
+	CompHDDSeek:          "mechanical positioning dominates HDD latency; the paper's core argument prices it separately from transfer",
+	CompHDDTransfer:      "command overhead plus media transfer; scales with request size where seek does not",
+	CompSSDRead:          "flash read service time on either SSD role (cache or index)",
+	CompSSDProgram:       "program/trim cost of cache admission; the write-amplification side of caching on flash",
+	CompSSDEraseStall:    "foreground reads stalled behind background program/erase; the GC-interference term",
+	CompCPUIntersect:     "postings decode and list intersection; the CPU term that block compression trades against I/O",
+	CompCacheBookkeeping: "L1 memory probes and transfers in the cache manager",
+	CompQueueWait:        "shard-queue delay and coalesced-serve latency in the serving layer; the only component born outside the device stack",
+}
+
 // String returns the component's stable wire name.
 func (c Component) String() string {
 	if c < NumComponents {

@@ -33,6 +33,31 @@ func TestComponentNames(t *testing.T) {
 	}
 }
 
+// TestComponentTable is the runtime mirror of the attrib analyzer's
+// totality check, the way TestStatsEventTables mirrors statsevent: every
+// Component constant must carry a componentTable rationale, the table must
+// hold nothing else, and the sentinel must not appear. (The tracetool half
+// of the ordering contract — every component has a summaryOrder slot — is
+// TestSummaryOrderCoversEveryComponent in cmd/tracetool.)
+func TestComponentTable(t *testing.T) {
+	for c := Component(0); c < NumComponents; c++ {
+		reason, ok := componentTable[c]
+		switch {
+		case !ok:
+			t.Errorf("component %s (%d) has no componentTable entry", c, c)
+		case reason == "":
+			t.Errorf("componentTable[%s] has an empty rationale", c)
+		}
+	}
+	if len(componentTable) != int(NumComponents) {
+		for c := range componentTable {
+			if c >= NumComponents {
+				t.Errorf("componentTable names %d, which is not a declared Component", c)
+			}
+		}
+	}
+}
+
 func TestOnAdvanceSeesEveryAdvance(t *testing.T) {
 	c := New()
 	var total [NumComponents]time.Duration

@@ -8,7 +8,12 @@
 #   2. go vet      (toolchain vet)
 #   3. staticcheck (version pinned in tools/tools.go)
 #   4. hybridlint  (the repo's contract analyzers: detclock, mapiter,
-#                   statsevent, ioerr — see internal/analysis)
+#                   statsevent, ioerr, attrib, bufalias, confine — see
+#                   internal/analysis — plus the allocbudget gate, which
+#                   replays compiler escape analysis against the budgets
+#                   committed in allocbudget.txt; any over-budget hot-path
+#                   function makes hybridlint, and this script, exit
+#                   non-zero)
 #
 # Environment:
 #   SKIP_STATICCHECK=1   skip step 3 (e.g. offline and not installed;
@@ -47,8 +52,10 @@ else
     echo "== staticcheck (skipped: SKIP_STATICCHECK=1)" >&2
 fi
 
+# -timing prints a per-analyzer wall-time line to stderr so a slow
+# analyzer shows up here rather than as a mystery in CI runtimes.
 echo "== hybridlint" >&2
-go run ./cmd/hybridlint ./... || fail=1
+go run ./cmd/hybridlint -timing ./... || fail=1
 
 if [ "$fail" -ne 0 ]; then
     echo "lint failed" >&2
